@@ -1,0 +1,135 @@
+// Command asrdecode loads a model written by asrtrain, regenerates
+// the matching synthetic world deterministically, decodes the test
+// set and prints per-utterance transcripts with the corpus WER.
+//
+// Usage:
+//
+//	asrdecode [-scale small] [-model models/small-prune90.model]
+//	          [-store unbounded|nbest|accurate] [-beam 15] [-n 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/asr"
+	"repro/internal/decoder"
+	"repro/internal/dnn"
+	"repro/internal/speech"
+	"repro/internal/wer"
+	"repro/internal/wfst"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asrdecode: ")
+	scaleName := flag.String("scale", "small", "tiny, small or paper (must match asrtrain)")
+	modelPath := flag.String("model", "", "model file written by asrtrain (required)")
+	storeKind := flag.String("store", "unbounded", "hypothesis store: unbounded, nbest or accurate")
+	beam := flag.Float64("beam", asr.DefaultBeam, "beam width in -log space")
+	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
+	lazy := flag.Bool("lazy", false, "use on-the-fly WFST composition instead of the precompiled graph")
+	verbose := flag.Bool("v", false, "print every transcript")
+	flag.Parse()
+
+	if *modelPath == "" {
+		log.Fatal("-model is required (run asrtrain first)")
+	}
+
+	var scale asr.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = asr.ScaleTiny()
+	case "small":
+		scale = asr.ScaleSmall()
+	case "paper":
+		scale = asr.ScalePaper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	net, err := dnn.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	world, err := speech.NewWorld(scale.World)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if net.OutDim() != world.NumSenones() {
+		log.Fatalf("model has %d outputs but the %q world has %d senones — wrong -scale?",
+			net.OutDim(), scale.Name, world.NumSenones())
+	}
+	var graph wfst.Graph = wfst.Compile(world)
+	if *lazy {
+		graph = wfst.NewLazy(world)
+	}
+	dec := decoder.New(graph)
+
+	noise := scale.TestNoiseScale
+	if noise <= 0 {
+		noise = 1
+	}
+	testSet := world.SynthesizeSetNoisy(scale.TestUtts, scale.WordsPerUtt, 2002, noise)
+
+	bound := *n
+	if bound == 0 {
+		bound = scale.NBestN()
+	}
+	var factory decoder.StoreFactory
+	switch *storeKind {
+	case "unbounded":
+		factory = decoder.UnboundedStore(scale.DirectEntries, scale.BackupEntries, 0)
+	case "nbest":
+		ways := scale.NBestWays
+		if ways <= 0 {
+			ways = 8
+		}
+		sets := bound / ways
+		if sets < 1 {
+			sets = 1
+		}
+		factory = decoder.SetAssocStore(sets, ways)
+	case "accurate":
+		factory = decoder.AccurateStore(bound)
+	default:
+		log.Fatalf("unknown store %q", *storeKind)
+	}
+
+	var corpus wer.Corpus
+	var hypos int64
+	var frames int
+	for i, u := range testSet {
+		spliced := speech.SpliceAll(u.Frames, scale.Context)
+		scores := make([][]float64, len(spliced))
+		for t, in := range spliced {
+			vec := make([]float64, world.NumSenones())
+			net.LogPosteriors(vec, in)
+			scores[t] = vec
+		}
+		r := dec.Decode(scores, decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory})
+		corpus.Add(u.Words, r.Words)
+		hypos += r.Stats.Hypotheses
+		frames += r.Stats.Frames
+		if *verbose {
+			fmt.Printf("utt %02d  ref %s\n        hyp %s\n", i, words(u.Words), words(r.Words))
+		}
+	}
+	fmt.Printf("utterances: %d   frames: %d\n", len(testSet), frames)
+	fmt.Printf("store: %s   beam: %.1f   hypotheses/frame: %.1f\n",
+		*storeKind, *beam, float64(hypos)/float64(frames))
+	fmt.Printf("WER: %.2f%% (%d sub, %d ins, %d del over %d words)\n",
+		corpus.Rate(), corpus.Ops.Substitutions, corpus.Ops.Insertions,
+		corpus.Ops.Deletions, corpus.RefWords)
+}
+
+func words(ws []int) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("w%02d", w)
+	}
+	return strings.Join(parts, " ")
+}

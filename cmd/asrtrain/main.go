@@ -1,0 +1,78 @@
+// Command asrtrain builds the synthetic world, trains the baseline
+// acoustic DNN and derives the pruned models, then writes all of them
+// to a directory for later use by asrdecode.
+//
+// Usage:
+//
+//	asrtrain [-scale tiny|small|paper] [-out models/]
+//
+// The world itself is not serialized: it is regenerated
+// deterministically from the scale preset (every randomness in this
+// repository flows from fixed seeds), so asrdecode only needs the
+// matching -scale flag.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/asr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asrtrain: ")
+	scaleName := flag.String("scale", "small", "tiny, small or paper")
+	out := flag.String("out", "models", "output directory")
+	flag.Parse()
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	log.Printf("training at scale %q (%d train utterances)...", scale.Name, scale.TrainUtts)
+	sys, err := asr.Build(scale, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained in %.1fs", time.Since(start).Seconds())
+
+	for _, lv := range sys.Levels() {
+		path := filepath.Join(*out, modelName(scale.Name, lv))
+		if err := sys.Models[lv].SaveFile(path); err != nil {
+			log.Fatal(err)
+		}
+		top1, top5, conf := sys.Quality(lv)
+		log.Printf("wrote %s (top-1 %.3f, top-5 %.3f, confidence %.3f)", path, top1, top5, conf)
+	}
+
+	for _, lv := range []int{70, 80, 90} {
+		rep := sys.PruneReports[lv]
+		log.Printf("pruning %d%%: quality %.3f, global %.1f%%", lv, rep.Quality, 100*rep.GlobalPruning)
+	}
+}
+
+func scaleByName(name string) (asr.Scale, error) {
+	switch name {
+	case "tiny":
+		return asr.ScaleTiny(), nil
+	case "small":
+		return asr.ScaleSmall(), nil
+	case "paper":
+		return asr.ScalePaper(), nil
+	}
+	return asr.Scale{}, fmt.Errorf("unknown scale %q", name)
+}
+
+func modelName(scale string, level int) string {
+	return fmt.Sprintf("%s-prune%02d.model", scale, level)
+}

@@ -1,0 +1,98 @@
+// Command wfstinfo prints statistics of the decoding graph a scale
+// preset produces — state/arc counts, label coverage, memory footprint
+// versus the Viterbi accelerator's caches, and the eager-vs-lazy
+// composition comparison.
+//
+// Usage:
+//
+//	wfstinfo [-scale tiny|small|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/asr"
+	"repro/internal/speech"
+	"repro/internal/wfst"
+)
+
+const (
+	stateBytes = 8
+	arcBytes   = 16
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wfstinfo: ")
+	scaleName := flag.String("scale", "small", "tiny, small or paper")
+	flag.Parse()
+
+	var scale asr.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = asr.ScaleTiny()
+	case "small":
+		scale = asr.ScaleSmall()
+	case "paper":
+		scale = asr.ScalePaper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	world, err := speech.NewWorld(scale.World)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph := wfst.Compile(world)
+	if err := graph.Validate(int32(world.NumSenones()), int32(world.Config.Vocab)); err != nil {
+		log.Fatalf("graph invalid: %v", err)
+	}
+
+	var emitting, eps, selfLoops, wordArcs, finals int
+	maxFan, sumFan := 0, 0
+	ilabels := map[int32]bool{}
+	for s := int32(0); s < int32(graph.NumStates()); s++ {
+		arcs := graph.Arcs(s)
+		sumFan += len(arcs)
+		if len(arcs) > maxFan {
+			maxFan = len(arcs)
+		}
+		if graph.IsFinal(s) {
+			finals++
+		}
+		for _, a := range arcs {
+			if a.ILabel == wfst.Epsilon {
+				eps++
+			} else {
+				emitting++
+				ilabels[a.ILabel] = true
+			}
+			if a.Next == s {
+				selfLoops++
+			}
+			if a.OLabel != wfst.Epsilon {
+				wordArcs++
+			}
+		}
+	}
+
+	fmt.Printf("scale %q: %d phones, %d senones, %d words\n",
+		scale.Name, world.Config.NumPhones, world.NumSenones(), world.Config.Vocab)
+	fmt.Printf("states: %d (%d final)\n", graph.NumStates(), finals)
+	fmt.Printf("arcs:   %d (%d emitting, %d epsilon, %d self-loops, %d word-labelled)\n",
+		graph.NumArcs(), emitting, eps, selfLoops, wordArcs)
+	fmt.Printf("fanout: mean %.2f, max %d\n",
+		float64(sumFan)/float64(graph.NumStates()), maxFan)
+	fmt.Printf("senone coverage: %d of %d appear on arcs\n", len(ilabels), world.NumSenones())
+
+	memKB := float64(graph.NumStates()*stateBytes+graph.NumArcs()*arcBytes) / 1024
+	vcfg := scale.ViterbiConfig()
+	fmt.Printf("graph memory: %.1f KB (state cache %d KB, arc cache %d KB)\n",
+		memKB, vcfg.StateCacheBytes>>10, vcfg.ArcCacheBytes>>10)
+
+	lazy := wfst.NewLazy(world)
+	fmt.Printf("lazy composition: %d virtual states, %d word chains, span %d\n",
+		lazy.NumStates(), world.Config.Vocab, lazy.NumStates()/(world.Config.Vocab*(world.Config.Vocab+1)))
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "The Dark Side of
+// DNN Pruning" (Yazdani, Riera, Arnau, González — ISCA 2018): an ASR
+// system combining a prunable acoustic DNN with WFST Viterbi beam
+// search, cycle/energy models of the paper's two accelerators, and the
+// paper's contribution — a set-associative N-best hypothesis table
+// with single-cycle Max-Heap replacement.
+//
+// The implementation lives under internal/; see README.md for the
+// package map, DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-vs-measured results. bench_test.go regenerates every
+// table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,70 @@
+// Frontend: the full speech front end from scratch — render synthetic
+// audio for a phonetic unit sequence, extract MFCC features (Hamming
+// window → FFT → mel filterbank → DCT), add deltas and CMVN, and train
+// a GMM classifier on the result. This is the waveform-level stand-in
+// for the Kaldi feature pipeline the paper's DNN consumes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/features"
+	"repro/internal/gmm"
+	"repro/internal/mat"
+)
+
+func main() {
+	log.SetFlags(0)
+	const units = 6
+
+	cfg := features.DefaultMFCCConfig()
+	extractor, err := features.NewExtractor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := mat.NewRNG(42)
+	voice := features.NewVoice(units, cfg.SampleRate, rng)
+
+	fmt.Printf("front end: %d Hz, %d ms frames / %d ms shift, %d mel bands, %d cepstra (+deltas)\n",
+		cfg.SampleRate, 1000*cfg.FrameLength/cfg.SampleRate,
+		1000*cfg.FrameShift/cfg.SampleRate, cfg.MelBands, cfg.NumCeps)
+
+	// Render labelled audio as multi-unit "utterances" (CMVN is a
+	// per-utterance transform: normalizing a single-unit clip would
+	// erase exactly the spectral mean that identifies the unit).
+	samplesPerUnit := 6 * cfg.FrameLength
+	build := func(reps int, noise float64, seed int64) (frames [][]float64, labels []int) {
+		r := mat.NewRNG(seed)
+		for rep := 0; rep < reps; rep++ {
+			seq := r.Perm(units) // every unit once, random order
+			audio := voice.Render(seq, samplesPerUnit, noise, r.Fork())
+			feats, err := extractor.Extract(audio)
+			if err != nil {
+				log.Fatal(err)
+			}
+			feats = features.Deltas(feats)
+			features.CMVN(feats)
+			for t, f := range feats {
+				center := t*cfg.FrameShift + cfg.FrameLength/2
+				unit := seq[min(center/samplesPerUnit, units-1)]
+				frames = append(frames, f)
+				labels = append(labels, unit)
+			}
+		}
+		return frames, labels
+	}
+	trainX, trainY := build(8, 0.05, 1)
+	testX, testY := build(3, 0.08, 2) // noisier test: a real mismatch
+
+	model, err := gmm.Train(trainX, trainY, units, gmm.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	top1, conf := model.Evaluate(testX, testY)
+	fmt.Printf("rendered %d train / %d test frames for %d units\n", len(trainX), len(testX), units)
+	fmt.Printf("GMM on waveform-derived MFCCs: frame top-1 %.3f, confidence %.3f\n", top1, conf)
+	if top1 < 0.8 {
+		fmt.Println("warning: front end separability below expectation")
+	}
+}

@@ -1,0 +1,84 @@
+// NBestHash: the paper's primary hardware contribution in isolation —
+// the K-way set-associative hash table that loosely tracks the N best
+// hypotheses with a per-set Max-Heap (Figures 7, 8 and 9).
+//
+// The example (1) replays the paper's worked Figure 8 insertion, (2)
+// replays one hypothesis stream into four table designs and reports
+// how closely each tracks an exact N-best oracle, and (3) shows the
+// modelled access-cycle advantage over UNFOLD's collision-chained
+// table under load.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+func main() {
+	workedExample()
+	similaritySweep()
+	cycleComparison()
+}
+
+// workedExample reproduces Figure 8: a 7-entry set holding costs
+// {100, 80, 70, 60, 50, 30, 10}; inserting cost 40 must evict the root
+// (100), shifting 80 and 70 up along the Maximum-path.
+func workedExample() {
+	fmt.Println("Figure 8 — Max-Heap replacement, worked example:")
+	set := core.NewSetAssoc[string](1, 7)
+	for _, c := range []float64{80, 70, 50, 100, 30, 10, 60} {
+		set.Insert(uint64(c), c, fmt.Sprintf("hyp-%.0f", c))
+	}
+	fmt.Printf("  heap before: %v\n", set.HeapCosts(0))
+	outcome := set.Insert(40, 40, "hyp-40")
+	fmt.Printf("  insert cost 40 -> %v\n", outcome)
+	fmt.Printf("  heap after:  %v (100 evicted, 80/70 shifted up)\n\n", set.HeapCosts(0))
+}
+
+// similaritySweep replays one random hypothesis stream into tables of
+// associativity 1/2/4/8 and reports the Figure 9 similarity metric.
+func similaritySweep() {
+	const n = 256
+	rng := mat.NewRNG(7)
+	stream := make([]core.Hypo, 8*n)
+	for i := range stream {
+		stream[i] = core.Hypo{Key: uint64(i), Cost: rng.Float64() * 100}
+	}
+	oracle := core.NewAccurateNBest[int](n)
+	core.ReplayInto[int](oracle, stream, 0)
+
+	fmt.Printf("Figure 9 — similarity to exact N-best (N=%d, %d offered):\n", n, len(stream))
+	for _, ways := range []int{1, 2, 4, 8} {
+		loose := core.NewSetAssoc[int](n/ways, ways)
+		core.ReplayInto[int](loose, stream, 0)
+		fmt.Printf("  %d-way: similarity %.3f\n", ways,
+			core.Similarity[int](loose, oracle, n))
+	}
+	fmt.Println()
+}
+
+// cycleComparison pushes the same overload through the proposed table
+// and through UNFOLD's direct-mapped + backup + overflow design, and
+// reports the modelled access cycles.
+func cycleComparison() {
+	rng := mat.NewRNG(9)
+	stream := make([]core.Hypo, 4096)
+	for i := range stream {
+		stream[i] = core.Hypo{Key: uint64(i), Cost: rng.Float64() * 100}
+	}
+	nbest := core.NewSetAssoc[int](128, 8) // N=1024, the paper's geometry
+	unfold := core.NewUnbounded[int](1024, 512, 100)
+	core.ReplayInto[int](nbest, stream, 0)
+	core.ReplayInto[int](unfold, stream, 0)
+
+	fmt.Println("Access cycles under a 4x-overload burst (4096 hypotheses):")
+	ns, us := nbest.Stats(), unfold.Stats()
+	fmt.Printf("  N-best table: %5d cycles (%d evictions, %d rejections, nothing off-chip)\n",
+		ns.Cycles, ns.Evictions, ns.Rejections)
+	fmt.Printf("  UNFOLD table: %5d cycles (%d collisions, %d backup hops, %d DRAM overflows)\n",
+		us.Cycles, us.Collisions, us.BackupAccesses, us.Overflows)
+	fmt.Printf("  -> the bounded table is %.1fx cheaper and needs no backup/overflow hardware\n",
+		float64(us.Cycles)/float64(ns.Cycles))
+}

@@ -1,0 +1,63 @@
+// Quickstart: build the whole reproduced ASR system end to end —
+// synthesize a world, train the acoustic DNN, prune it, compile the
+// decoding graph and decode — in under a minute on a laptop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asr"
+	"repro/internal/decoder"
+	"repro/internal/wer"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build trains the baseline DNN and derives 70/80/90% pruned
+	// models, exactly the Han-style pipeline of the paper.
+	sys, err := asr.Build(asr.ScaleSmall(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world: %d phones, %d senones, %d words\n",
+		sys.World.Config.NumPhones, sys.World.NumSenones(), sys.World.Config.Vocab)
+	fmt.Printf("graph: %d states, %d arcs\n", sys.Graph.NumStates(), sys.Graph.NumArcs())
+
+	// Frame-level quality of the four models (the paper's Figure 3).
+	for _, lv := range sys.Levels() {
+		top1, top5, conf := sys.Quality(lv)
+		fmt.Printf("pruning %3d%%: top-1 %.3f  top-5 %.3f  confidence %.3f\n",
+			lv, top1, top5, conf)
+	}
+
+	// Decode the test set with the baseline hardware configuration and
+	// with the paper's N-best hash table, at 90% pruning.
+	for _, cfg := range []asr.PipelineConfig{
+		sys.Preset(asr.MitigationNone, 90),
+		sys.Preset(asr.MitigationNBest, 90),
+	} {
+		res, err := sys.RunMatrix([]asr.PipelineConfig{cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res[0]
+		fmt.Printf("%-12s WER %.1f%%  hypotheses/frame %.1f  time %.3f ms  energy %.3f mJ\n",
+			cfg.Name, r.WER, r.ExploredPerFrame,
+			r.TotalSeconds()*1e3, r.TotalEnergyJ()*1e3)
+	}
+
+	// Decode one utterance by hand to show the low-level API: acoustic
+	// scores in, beam and hypothesis store chosen explicitly.
+	u := sys.TestSet[0]
+	scores := sys.Scores(90)[0]
+	result := sys.Decoder.Decode(scores, decoder.Config{
+		Beam:          asr.DefaultBeam,
+		AcousticScale: 1,
+		NewStore:      decoder.SetAssocStore(sys.Scale.NBestSets, sys.Scale.NBestWays),
+	})
+	fmt.Printf("reference:  %v\n", u.Words)
+	fmt.Printf("hypothesis: %v\n", result.Words)
+	fmt.Printf("WER: %.1f%%\n", wer.Rate(u.Words, result.Words))
+}

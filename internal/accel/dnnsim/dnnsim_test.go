@@ -1,0 +1,205 @@
+package dnnsim
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/mat"
+	"repro/internal/pruning"
+)
+
+func buildNet(seed int64) *dnn.Network {
+	topo := dnn.Topology{FeatDim: 8, Context: 1, Hidden: 64, PoolGroup: 4, HiddenBlocks: 2, Senones: 24}
+	return topo.Build(mat.NewRNG(seed))
+}
+
+func smallConfig() Config {
+	cfg := PaperConfig()
+	cfg.Tiles = 1
+	cfg.MulsPerTile = 16
+	cfg.AddersPerTile = 16
+	cfg.IOBanks = 8
+	return cfg
+}
+
+func TestDenseAnalysis(t *testing.T) {
+	net := buildNet(1)
+	rep, err := Analyze(net, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MACsPerFrame != int64(net.WeightCount()) {
+		t.Fatalf("dense MACs = %d, want %d", rep.MACsPerFrame, net.WeightCount())
+	}
+	// dense layers have no stalls
+	for _, l := range rep.Layers {
+		if l.Sparse {
+			t.Fatalf("unpruned network produced sparse layer %s", l.Name)
+		}
+		if l.StallCycles != 0 {
+			t.Fatalf("dense layer %s has stalls", l.Name)
+		}
+	}
+	if rep.Utilization < 0.9 {
+		t.Fatalf("dense utilization = %v", rep.Utilization)
+	}
+	if rep.SecondsPerFrame() <= 0 {
+		t.Fatalf("non-positive frame time")
+	}
+}
+
+func TestSparseFasterThanDense(t *testing.T) {
+	net := buildNet(2)
+	dense, err := Analyze(net, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pruning.CalibrateQuality(net, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedNet := net.Clone()
+	pruning.Prune(prunedNet, q)
+	pruned, err := Analyze(prunedNet, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.CyclesPerFrame >= dense.CyclesPerFrame {
+		t.Fatalf("90%% pruned model not faster: %d vs %d cycles",
+			pruned.CyclesPerFrame, dense.CyclesPerFrame)
+	}
+	if pruned.Utilization >= dense.Utilization {
+		t.Fatalf("pruning should reduce FP utilization (bank conflicts): %v vs %v",
+			pruned.Utilization, dense.Utilization)
+	}
+	if pruned.ModelBits >= dense.ModelBits {
+		t.Fatalf("pruned model should be smaller: %d vs %d bits",
+			pruned.ModelBits, dense.ModelBits)
+	}
+}
+
+func TestSparseEnergyLowerAndGated(t *testing.T) {
+	net := buildNet(3)
+	dense, _ := Analyze(net, smallConfig())
+	q, _ := pruning.CalibrateQuality(net, 0.9)
+	prunedNet := net.Clone()
+	pruning.Prune(prunedNet, q)
+	pruned, _ := Analyze(prunedNet, smallConfig())
+	if pruned.PoweredFrac > dense.PoweredFrac {
+		t.Fatalf("pruned model should gate more eDRAM banks")
+	}
+	denseAcc := dense.EnergyPerFrame()
+	prunedAcc := pruned.EnergyPerFrame()
+	de := denseAcc.TotalJ()
+	pe := prunedAcc.TotalJ()
+	if pe >= de {
+		t.Fatalf("pruned energy %v should be below dense %v", pe, de)
+	}
+}
+
+func TestSparseCycleLowerBound(t *testing.T) {
+	// cycles can never be below ceil(nnz / lanes)
+	net := buildNet(4)
+	q, _ := pruning.CalibrateQuality(net, 0.7)
+	pruning.Prune(net, q)
+	cfg := smallConfig()
+	rep, _ := Analyze(net, cfg)
+	for _, l := range rep.Layers {
+		if !l.Sparse {
+			continue
+		}
+		lower := (l.MACs + int64(cfg.Lanes()) - 1) / int64(cfg.Lanes())
+		if l.Cycles < lower {
+			t.Fatalf("layer %s: %d cycles below lower bound %d", l.Name, l.Cycles, lower)
+		}
+		if l.MACs == 0 {
+			t.Fatalf("layer %s lost all MACs", l.Name)
+		}
+	}
+}
+
+func TestAnalyzeRejectsBadConfig(t *testing.T) {
+	net := buildNet(5)
+	bad := smallConfig()
+	bad.Tiles = 0
+	if _, err := Analyze(net, bad); err == nil {
+		t.Fatalf("zero tiles accepted")
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.Lanes() != 128 {
+		t.Fatalf("paper lanes = %d, want 128", cfg.Lanes())
+	}
+	if cfg.WeightBufBytes != 18<<20 {
+		t.Fatalf("paper weight buffer = %d", cfg.WeightBufBytes)
+	}
+}
+
+func TestSparseMACsEqualNNZ(t *testing.T) {
+	net := buildNet(6)
+	q, _ := pruning.CalibrateQuality(net, 0.8)
+	pruning.Prune(net, q)
+	rep, _ := Analyze(net, smallConfig())
+	var sparseMACs int64
+	for _, l := range rep.Layers {
+		if l.Sparse {
+			sparseMACs += l.MACs
+		}
+	}
+	var nnz int64
+	for _, fc := range net.FCs() {
+		if fc.Mask != nil {
+			nnz += int64(fc.ActiveWeights())
+		}
+	}
+	if sparseMACs != nnz {
+		t.Fatalf("sparse MACs %d != nnz %d (work lost or duplicated)", sparseMACs, nnz)
+	}
+}
+
+func TestRingNoCStallsOnlyWhenBottleneck(t *testing.T) {
+	net := buildNet(7)
+	// generous ring: no stalls
+	fast := smallConfig()
+	fast.Tiles = 4
+	fast.MulsPerTile = 4
+	fast.RingWordsPerCycle = 64
+	repFast, err := Analyze(net, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range repFast.Layers {
+		if l.RingCycles != 0 {
+			t.Fatalf("layer %s stalled on a 64-word ring", l.Name)
+		}
+	}
+	// starved ring on a compute-light (heavily pruned) model: stalls
+	q, _ := pruning.CalibrateQuality(net, 0.9)
+	prunedNet := net.Clone()
+	pruning.Prune(prunedNet, q)
+	slow := fast
+	slow.MulsPerTile = 32 // fast compute
+	slow.RingWordsPerCycle = 1
+	repSlow, err := Analyze(prunedNet, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ringStalls int64
+	for _, l := range repSlow.Layers {
+		ringStalls += l.RingCycles
+	}
+	if ringStalls == 0 {
+		t.Fatalf("1-word ring on a 90%%-pruned model should stall")
+	}
+	// single tile never uses the ring
+	single := slow
+	single.Tiles = 1
+	repSingle, _ := Analyze(prunedNet, single)
+	for _, l := range repSingle.Layers {
+		if l.RingCycles != 0 {
+			t.Fatalf("single tile stalled on the ring")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package viterbisim
+
+// Cache is a set-associative LRU cache simulator operating on byte
+// addresses. It models the State, Arc and Word-Lattice caches of the
+// UNFOLD accelerator (Table III).
+type Cache struct {
+	Name     string
+	lineSize int64
+	sets     int64
+	ways     int
+
+	tags []uint64 // sets*ways; 0 = invalid, else tag+1
+	lru  []uint32 // per-line recency stamp
+	tick uint32
+
+	Hits, Misses int64
+}
+
+// NewCache builds a cache of the given total size.
+func NewCache(name string, sizeBytes, ways int, lineSize int64) *Cache {
+	lines := int64(sizeBytes) / lineSize
+	sets := lines / int64(ways)
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		Name:     name,
+		lineSize: lineSize,
+		sets:     sets,
+		ways:     ways,
+		tags:     make([]uint64, sets*int64(ways)),
+		lru:      make([]uint32, sets*int64(ways)),
+	}
+}
+
+// Access touches [addr, addr+bytes) and returns the number of line
+// misses incurred.
+func (c *Cache) Access(addr int64, bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	first := addr / c.lineSize
+	last := (addr + int64(bytes) - 1) / c.lineSize
+	misses := 0
+	for line := first; line <= last; line++ {
+		if !c.touch(line) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// touch accesses a single line; reports hit.
+func (c *Cache) touch(line int64) bool {
+	c.tick++
+	set := (line % c.sets) * int64(c.ways)
+	tag := uint64(line) + 1
+	victim := int64(set)
+	var victimLRU uint32 = ^uint32(0)
+	for w := 0; w < c.ways; w++ {
+		i := set + int64(w)
+		if c.tags[i] == tag {
+			c.lru[i] = c.tick
+			c.Hits++
+			return true
+		}
+		if c.tags[i] == 0 {
+			victim = i
+			victimLRU = 0
+		} else if c.lru[i] < victimLRU {
+			victim = i
+			victimLRU = c.lru[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+	c.Misses++
+	return false
+}
+
+// Accesses reports the total number of line accesses.
+func (c *Cache) Accesses() int64 { return c.Hits + c.Misses }
+
+// MissRate reports the fraction of accesses that missed.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses() == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses())
+}

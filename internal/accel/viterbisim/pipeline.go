@@ -1,0 +1,86 @@
+package viterbisim
+
+import "repro/internal/decoder"
+
+// Stage identifies one of UNFOLD's pipeline stages (Figure 6): the
+// State and Arc Issuers fetch WFST data, the Acoustic-likelihood
+// Issuer reads DNN scores, the Likelihood Evaluation unit computes
+// hypothesis costs, and the Hypothesis Issuer stores them in the hash
+// table.
+type Stage int
+
+const (
+	StageStateIssuer Stage = iota
+	StageArcIssuer
+	StageAcousticIssuer
+	StageLikelihoodEval
+	StageHypothesisIssuer
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageStateIssuer:
+		return "state-issuer"
+	case StageArcIssuer:
+		return "arc-issuer"
+	case StageAcousticIssuer:
+		return "acoustic-issuer"
+	case StageLikelihoodEval:
+		return "likelihood-eval"
+	case StageHypothesisIssuer:
+		return "hypothesis-issuer"
+	}
+	return "unknown"
+}
+
+// StageModel holds per-stage throughputs (operations retired per
+// cycle). The paper's Likelihood Evaluation Unit has 4 FP adders and 2
+// comparators (Table III), letting it retire more than one arc per
+// cycle; the issuers are single-issue.
+type StageModel struct {
+	// OpsPerCycle[stage] — throughput when all accesses hit on chip.
+	OpsPerCycle [numStages]float64
+}
+
+// DefaultStageModel mirrors the Table III provisioning.
+func DefaultStageModel() StageModel {
+	return StageModel{OpsPerCycle: [numStages]float64{
+		StageStateIssuer:      1, // one state record per cycle
+		StageArcIssuer:        1, // one arc record per cycle
+		StageAcousticIssuer:   2, // two score reads per cycle (2RD buffer)
+		StageLikelihoodEval:   2, // 4 adders + 2 comparators pipeline
+		StageHypothesisIssuer: 1, // one hash access per cycle
+	}}
+}
+
+// StageWork converts decode statistics into per-stage operation counts.
+func StageWork(stats decoder.Stats) [numStages]int64 {
+	var w [numStages]int64
+	w[StageStateIssuer] = stats.SumActive
+	w[StageArcIssuer] = stats.ArcsEvaluated + stats.EpsExpansions
+	w[StageAcousticIssuer] = stats.ArcsEvaluated
+	w[StageLikelihoodEval] = stats.ArcsEvaluated + stats.EpsExpansions
+	w[StageHypothesisIssuer] = stats.Hypotheses
+	return w
+}
+
+// PipelineCycles returns the steady-state pipeline bound: the busiest
+// stage determines throughput (stages overlap; memory stalls are
+// accounted separately by the cache model).
+func (m StageModel) PipelineCycles(work [numStages]int64) (int64, Stage) {
+	var worst int64
+	bottleneck := StageArcIssuer
+	for s := Stage(0); s < numStages; s++ {
+		ops := m.OpsPerCycle[s]
+		if ops <= 0 {
+			ops = 1
+		}
+		c := int64(float64(work[s]) / ops)
+		if c > worst {
+			worst = c
+			bottleneck = s
+		}
+	}
+	return worst, bottleneck
+}

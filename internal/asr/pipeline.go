@@ -1,0 +1,287 @@
+package asr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/accel/dnnsim"
+	"repro/internal/accel/viterbisim"
+	"repro/internal/decoder"
+	"repro/internal/energy"
+	"repro/internal/wer"
+)
+
+// Mitigation selects how the system copes with the Viterbi workload
+// increase caused by pruned-DNN confidence loss (Section V's three
+// configuration families).
+type Mitigation int
+
+const (
+	// MitigationNone is the Baseline-*: UNFOLD's unbounded hash table
+	// with the default beam.
+	MitigationNone Mitigation = iota
+	// MitigationBeam is Beam-*: unchanged hardware, reduced beam width.
+	MitigationBeam
+	// MitigationNBest is NBest-*: the proposed set-associative N-best
+	// table.
+	MitigationNBest
+)
+
+func (m Mitigation) String() string {
+	switch m {
+	case MitigationNone:
+		return "Baseline"
+	case MitigationBeam:
+		return "Beam"
+	case MitigationNBest:
+		return "NBest"
+	}
+	return "unknown"
+}
+
+// PipelineConfig is one point of the paper's configuration matrix.
+type PipelineConfig struct {
+	Name       string
+	Pruning    int // 0, 70, 80, 90
+	Mitigation Mitigation
+	Beam       float64
+	Sets, Ways int // NBest table geometry (default 128x8)
+	// UNFOLD table geometry for Baseline/Beam configs (0 = published
+	// 32K/16K geometry).
+	DirectEntries, BackupEntries int
+}
+
+// DefaultBeam is the Kaldi-default beam of the Baseline and NBest
+// configurations (the paper uses 15 in log space).
+const DefaultBeam = 15
+
+// ReducedBeams are the per-pruning-level beams of the Beam-*
+// configurations (paper: 15, 12.5, 10, 9, 8 — with Beam-NP already
+// slightly tighter than the Kaldi default).
+var ReducedBeams = map[int]float64{0: 12.5, 70: 10, 80: 9, 90: 8}
+
+// Preset builds the paper's named configuration for a mitigation and
+// pruning level, e.g. Preset(MitigationNBest, 90) = "NBest-90".
+func Preset(m Mitigation, level int) PipelineConfig {
+	suffix := "NP"
+	if level != 0 {
+		suffix = fmt.Sprintf("%d", level)
+	}
+	cfg := PipelineConfig{
+		Name:       fmt.Sprintf("%s-%s", m, suffix),
+		Pruning:    level,
+		Mitigation: m,
+		Beam:       DefaultBeam,
+		Sets:       128,
+		Ways:       8,
+	}
+	if m == MitigationBeam {
+		if b, ok := ReducedBeams[level]; ok {
+			cfg.Beam = b
+		}
+	}
+	return cfg
+}
+
+// AllPresets returns the full 3x4 configuration matrix of Section V.
+func AllPresets() []PipelineConfig {
+	var out []PipelineConfig
+	for _, m := range []Mitigation{MitigationNone, MitigationBeam, MitigationNBest} {
+		for _, lv := range PruningLevels {
+			out = append(out, Preset(m, lv))
+		}
+	}
+	return out
+}
+
+// Preset builds the named configuration with this system's scaled
+// hypothesis-table geometry (see Scale). The paper's geometry is sized
+// for LibriSpeech's ~20K hypotheses per frame; the scaled geometry
+// keeps the same pressure ratios at this system's workload.
+func (s *System) Preset(m Mitigation, level int) PipelineConfig {
+	cfg := Preset(m, level)
+	if m == MitigationBeam && s.Scale.ReducedBeams != nil {
+		if b, ok := s.Scale.ReducedBeams[level]; ok {
+			cfg.Beam = b
+		}
+	}
+	cfg.DirectEntries = s.Scale.DirectEntries
+	cfg.BackupEntries = s.Scale.BackupEntries
+	if s.Scale.NBestSets > 0 {
+		cfg.Sets = s.Scale.NBestSets
+	}
+	if s.Scale.NBestWays > 0 {
+		cfg.Ways = s.Scale.NBestWays
+	}
+	return cfg
+}
+
+// AllPresets returns the 3x4 matrix with this system's geometry.
+func (s *System) AllPresets() []PipelineConfig {
+	var out []PipelineConfig
+	for _, m := range []Mitigation{MitigationNone, MitigationBeam, MitigationNBest} {
+		for _, lv := range PruningLevels {
+			out = append(out, s.Preset(m, lv))
+		}
+	}
+	return out
+}
+
+// PipelineResult aggregates everything the paper measures for one
+// configuration over the test set.
+type PipelineResult struct {
+	Config PipelineConfig
+
+	// accuracy
+	WER        float64
+	Top1, Top5 float64
+	Confidence float64
+
+	// workload
+	Frames           int
+	Explored         int64
+	ExploredPerFrame float64
+	MeanActive       float64
+	Overflows        int64
+	Collisions       int64
+
+	// timing (seconds over the whole test set)
+	DNNSeconds     float64
+	ViterbiSeconds float64
+
+	// energy (joules over the whole test set)
+	DNNEnergyJ     float64
+	ViterbiEnergyJ float64
+
+	// tail latency: per-utterance Viterbi decode seconds
+	UttSeconds []float64
+
+	DNNReport *dnnsim.Report
+}
+
+// TotalSeconds reports end-to-end decode time.
+func (r *PipelineResult) TotalSeconds() float64 { return r.DNNSeconds + r.ViterbiSeconds }
+
+// TotalEnergyJ reports end-to-end energy.
+func (r *PipelineResult) TotalEnergyJ() float64 { return r.DNNEnergyJ + r.ViterbiEnergyJ }
+
+// TailSeconds reports the p-quantile (0..1) of per-utterance decode
+// time, normalized per second of speech... (raw seconds; callers
+// normalize). Used for the tail-latency analysis of Section II-C.
+func (r *PipelineResult) TailSeconds(p float64) float64 {
+	if len(r.UttSeconds) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.UttSeconds...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// storeFactory builds the decoder hypothesis store for a config.
+func (c PipelineConfig) storeFactory() decoder.StoreFactory {
+	switch c.Mitigation {
+	case MitigationNBest:
+		sets, ways := c.Sets, c.Ways
+		if sets <= 0 {
+			sets = 128
+		}
+		if ways <= 0 {
+			ways = 8
+		}
+		return decoder.SetAssocStore(sets, ways)
+	default:
+		return decoder.UnboundedStore(c.DirectEntries, c.BackupEntries, 0)
+	}
+}
+
+// Run decodes the whole test set under cfg with both accelerator
+// simulators attached and returns the aggregated result.
+func (s *System) Run(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg viterbisim.Config) (*PipelineResult, error) {
+	net, ok := s.Models[cfg.Pruning]
+	if !ok {
+		return nil, fmt.Errorf("asr: no model pruned at %d%%", cfg.Pruning)
+	}
+	if cfg.Mitigation == MitigationNBest {
+		vitCfg.NBestTable = true
+	}
+
+	dnnReport, err := dnnsim.Analyze(net, dnnCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PipelineResult{Config: cfg, DNNReport: dnnReport}
+	res.Top1, res.Top5, res.Confidence = s.Quality(cfg.Pruning)
+
+	scores := s.Scores(cfg.Pruning)
+	var corpus wer.Corpus
+	for i, u := range s.TestSet {
+		sim := viterbisim.New(vitCfg)
+		dcfg := decoder.Config{
+			Beam:          cfg.Beam,
+			AcousticScale: 1,
+			NewStore:      cfg.storeFactory(),
+			Probe:         sim,
+		}
+		r := s.Decoder.Decode(scores[i], dcfg)
+		corpus.Add(u.Words, r.Words)
+
+		rep := sim.Finish(r.Stats)
+		res.ViterbiSeconds += rep.Seconds
+		res.ViterbiEnergyJ += rep.Energy.TotalJ()
+		res.UttSeconds = append(res.UttSeconds, rep.Seconds)
+
+		res.Frames += r.Stats.Frames
+		res.Explored += r.Stats.Hypotheses
+		res.MeanActive += r.Stats.MeanActive()
+		res.Overflows += r.Stats.Store.Overflows
+		res.Collisions += r.Stats.Store.Collisions
+	}
+	if len(s.TestSet) > 0 {
+		res.MeanActive /= float64(len(s.TestSet))
+	}
+	if res.Frames > 0 {
+		res.ExploredPerFrame = float64(res.Explored) / float64(res.Frames)
+	}
+	res.WER = corpus.Rate()
+
+	frames := float64(res.Frames)
+	res.DNNSeconds = frames * dnnReport.SecondsPerFrame()
+	perFrame := dnnReport.EnergyPerFrame()
+	res.DNNEnergyJ = frames * perFrame.TotalJ()
+
+	// The two accelerators communicate through a shared buffer in
+	// system memory (Section IV): the DNN accelerator writes each
+	// frame's acoustic scores, the Viterbi accelerator reads them
+	// back. Charge one DRAM word transfer per score each way, half to
+	// each side.
+	words := frames * float64(s.World.NumSenones())
+	sharedJ := 2 * words * energy.Joules(energy.DRAMWordPJ)
+	res.DNNEnergyJ += sharedJ / 2
+	res.ViterbiEnergyJ += sharedJ / 2
+	// latency: line-granular burst transfers overlap with compute; the
+	// residual cost is one DRAM line fill per frame on the reader side.
+	res.ViterbiSeconds += frames * float64(vitCfg.DRAMLatency) / vitCfg.FrequencyHz
+
+	if math.IsNaN(res.WER) {
+		return nil, fmt.Errorf("asr: WER is NaN for %s", cfg.Name)
+	}
+	return res, nil
+}
+
+// RunMatrix evaluates a list of configurations with this scale's
+// accelerator parameters (the paper's Tables II and III at full scale,
+// proportionally provisioned versions below it).
+func (s *System) RunMatrix(cfgs []PipelineConfig) ([]*PipelineResult, error) {
+	var out []*PipelineResult
+	for _, cfg := range cfgs {
+		r, err := s.Run(cfg, s.Scale.DNNConfig(), s.Scale.ViterbiConfig())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

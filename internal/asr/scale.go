@@ -1,0 +1,219 @@
+package asr
+
+import (
+	"repro/internal/accel/dnnsim"
+	"repro/internal/accel/viterbisim"
+	"repro/internal/dnn"
+	"repro/internal/speech"
+)
+
+// Scale bundles every size knob of the reproduction. The paper's
+// system (LibriSpeech, 4.5M-weight DNN, 3482 senones) is far beyond
+// what a pure-Go offline build can train in seconds, so experiments
+// run at one of three presets with identical structure.
+type Scale struct {
+	Name string
+
+	World speech.Config
+
+	// network topology (FeatDim/Senones come from World)
+	Context      int
+	Hidden       int
+	PoolGroup    int
+	HiddenBlocks int
+
+	// corpus
+	TrainUtts   int
+	TestUtts    int
+	WordsPerUtt int
+
+	// TestNoiseScale multiplies the emission noise of the test set
+	// relative to training (train/test mismatch; yields non-zero WER).
+	TestNoiseScale float64
+
+	// ReducedBeams overrides the Beam-* mitigation beam per pruning
+	// level (nil = the paper's 12.5/10/9/8).
+	ReducedBeams map[int]float64
+
+	BaselineTrain dnn.TrainConfig
+	Retrain       dnn.TrainConfig
+
+	// Hypothesis-table geometry, scaled with the workload the way the
+	// paper's geometry (32K+16K UNFOLD entries, 128x8 N-best table) is
+	// scaled to LibriSpeech's ~20K hypotheses per frame.
+	DirectEntries int // UNFOLD direct-mapped entries
+	BackupEntries int // UNFOLD backup-buffer entries
+	NBestSets     int
+	NBestWays     int
+
+	// Accelerator provisioning, scaled with the network and graph the
+	// way Table II/III are sized for the paper's 4.5M-weight DNN and
+	// multi-million-state WFST. Nil selects the published paper
+	// configuration (appropriate only at comparable workload sizes).
+	DNNAccel     *dnnsim.Config
+	ViterbiAccel *viterbisim.Config
+}
+
+// DNNConfig returns the DNN accelerator configuration for this scale.
+func (s Scale) DNNConfig() dnnsim.Config {
+	if s.DNNAccel != nil {
+		return *s.DNNAccel
+	}
+	return dnnsim.PaperConfig()
+}
+
+// ViterbiConfig returns the Viterbi accelerator configuration.
+func (s Scale) ViterbiConfig() viterbisim.Config {
+	if s.ViterbiAccel != nil {
+		return *s.ViterbiAccel
+	}
+	return viterbisim.PaperConfig()
+}
+
+// scaledDNNAccel provisions the DNN accelerator proportionally to the
+// network: lanes sized so a sparse row still fills a fraction of a
+// group, banks sized below the layer widths so the interleaving works.
+func scaledDNNAccel(tiles, lanesPerTile, banks int, weightBufBytes int64) *dnnsim.Config {
+	cfg := dnnsim.PaperConfig()
+	cfg.Tiles = tiles
+	cfg.MulsPerTile = lanesPerTile
+	cfg.AddersPerTile = lanesPerTile
+	cfg.IOBanks = banks
+	cfg.WeightBufBytes = weightBufBytes
+	cfg.IOBufBytes = 8 << 10
+	return &cfg
+}
+
+// scaledViterbiAccel provisions the Viterbi caches below the graph
+// working set, preserving the paper's regime of a WFST much larger
+// than on-chip memory.
+func scaledViterbiAccel(stateKB, arcKB, latticeKB int) *viterbisim.Config {
+	cfg := viterbisim.PaperConfig()
+	cfg.StateCacheBytes = stateKB << 10
+	cfg.ArcCacheBytes = arcKB << 10
+	cfg.LatticeBytes = latticeKB << 10
+	return &cfg
+}
+
+// NBestN reports the loose N-best bound of this scale's table.
+func (s Scale) NBestN() int { return s.NBestSets * s.NBestWays }
+
+// Topology derives the DNN topology for this scale.
+func (s Scale) Topology() dnn.Topology {
+	senones := s.World.NumPhones * speech.StatesPerPhone
+	return dnn.Topology{
+		FeatDim:      s.World.FeatDim,
+		Context:      s.Context,
+		Hidden:       s.Hidden,
+		PoolGroup:    s.PoolGroup,
+		HiddenBlocks: s.HiddenBlocks,
+		Senones:      senones,
+	}
+}
+
+// ScaleTiny is for unit tests: builds in well under a second.
+func ScaleTiny() Scale {
+	w := speech.DefaultConfig()
+	w.NumPhones = 8
+	w.Vocab = 14
+	w.FeatDim = 8
+	w.Separation = 3.0
+	w.StateSpread = 0.5
+	return Scale{
+		Name:           "tiny",
+		World:          w,
+		Context:        1,
+		Hidden:         120,
+		PoolGroup:      4,
+		HiddenBlocks:   1,
+		TrainUtts:      30,
+		TestUtts:       8,
+		WordsPerUtt:    5,
+		TestNoiseScale: 1.1,
+		DirectEntries:  16,
+		BackupEntries:  8,
+		NBestSets:      8,
+		NBestWays:      4,
+		DNNAccel:       scaledDNNAccel(1, 8, 8, 256<<10),
+		ViterbiAccel:   scaledViterbiAccel(2, 4, 1),
+		BaselineTrain: dnn.TrainConfig{
+			Epochs: 8, BatchSize: 16, LearningRate: 0.05, LRDecay: 0.9, L2: 1e-5, Seed: 1,
+		},
+		Retrain: dnn.TrainConfig{
+			Epochs: 4, BatchSize: 16, LearningRate: 0.03, LRDecay: 0.9, L2: 1e-5, Seed: 2,
+		},
+	}
+}
+
+// ScaleSmall is the integration/bench preset, validated to reproduce
+// the paper's qualitative behaviour (confidence drop ~4/13/39%, WER
+// held, Viterbi workload growth) in ~half a minute of training.
+func ScaleSmall() Scale {
+	w := speech.DefaultConfig()
+	w.Vocab = 36
+	w.StateSpread = 0.28
+	return Scale{
+		Name:           "small",
+		World:          w,
+		Context:        2,
+		Hidden:         400,
+		PoolGroup:      5,
+		HiddenBlocks:   3,
+		TrainUtts:      60,
+		TestUtts:       20,
+		WordsPerUtt:    8,
+		TestNoiseScale: 1.2,
+		// minimum beams that retain WER, found the way the paper tuned
+		// its 12.5/10/9/8: at 90% pruning the beam cannot drop below 13
+		// without losing accuracy, so beam reduction buys little.
+		ReducedBeams:  map[int]float64{0: 11, 70: 11, 80: 11.5, 90: 13},
+		DirectEntries: 24,
+		BackupEntries: 12,
+		NBestSets:     4,
+		NBestWays:     8,
+		DNNAccel:      scaledDNNAccel(2, 32, 32, 1<<20),
+		ViterbiAccel:  scaledViterbiAccel(8, 24, 4),
+		BaselineTrain: dnn.TrainConfig{
+			Epochs: 12, BatchSize: 16, LearningRate: 0.04, LRDecay: 0.85, L2: 1e-5, Seed: 1,
+		},
+		Retrain: dnn.TrainConfig{
+			Epochs: 6, BatchSize: 16, LearningRate: 0.03, LRDecay: 0.85, L2: 1e-5, Seed: 2,
+		},
+	}
+}
+
+// ScalePaper is the largest preset, used by cmd/darkside: a larger
+// vocabulary and network bring the search-space dynamics closer to
+// the paper's large-vocabulary setting (minutes of compute).
+func ScalePaper() Scale {
+	w := speech.DefaultConfig()
+	w.NumPhones = 24
+	w.Vocab = 48
+	w.FeatDim = 16
+	w.StateSpread = 0.3
+	return Scale{
+		Name:           "paper",
+		World:          w,
+		Context:        3,
+		Hidden:         600,
+		PoolGroup:      5,
+		HiddenBlocks:   4,
+		TrainUtts:      140,
+		TestUtts:       40,
+		WordsPerUtt:    10,
+		TestNoiseScale: 1.25,
+		ReducedBeams:   map[int]float64{0: 12, 70: 12, 80: 11.5, 90: 13},
+		DirectEntries:  16,
+		BackupEntries:  8,
+		NBestSets:      4,
+		NBestWays:      8,
+		DNNAccel:       scaledDNNAccel(2, 32, 32, 4<<20),
+		ViterbiAccel:   scaledViterbiAccel(16, 48, 8),
+		BaselineTrain: dnn.TrainConfig{
+			Epochs: 14, BatchSize: 16, LearningRate: 0.04, LRDecay: 0.85, L2: 1e-5, Seed: 1,
+		},
+		Retrain: dnn.TrainConfig{
+			Epochs: 5, BatchSize: 16, LearningRate: 0.03, LRDecay: 0.85, L2: 1e-5, Seed: 2,
+		},
+	}
+}

@@ -1,0 +1,170 @@
+// Package asr assembles the full reproduced system: the synthetic
+// acoustic world, the trained baseline DNN, its pruned derivatives,
+// the decoding graph, the Viterbi decoder, and the two accelerator
+// simulators — and exposes the paper's experiment configurations
+// (Baseline / Beam / NBest at 0/70/80/90% pruning) as presets.
+package asr
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/decoder"
+	"repro/internal/dnn"
+	"repro/internal/mat"
+	"repro/internal/pruning"
+	"repro/internal/speech"
+	"repro/internal/wfst"
+)
+
+// PruningLevels are the sweep points of the paper.
+var PruningLevels = []int{0, 70, 80, 90}
+
+// System holds everything needed to run the paper's experiments.
+type System struct {
+	Scale    Scale
+	World    *speech.World
+	Graph    *wfst.FST
+	Decoder  *decoder.Decoder
+	Topology dnn.Topology
+
+	// Models maps pruning percentage (0, 70, 80, 90) to a network.
+	Models       map[int]*dnn.Network
+	PruneReports map[int]pruning.Report
+	TrainSamples []dnn.Sample
+	TestSet      []*speech.Utterance
+	TestSamples  []dnn.Sample
+
+	scores map[int][][][]float64 // pruning -> utterance -> frame -> senone log-post
+}
+
+// Build synthesizes the world and corpus, trains the baseline network
+// and derives the pruned models at the given levels (nil = the paper's
+// 0/70/80/90 sweep).
+func Build(scale Scale, levels []int) (*System, error) {
+	if levels == nil {
+		levels = PruningLevels
+	}
+	world, err := speech.NewWorld(scale.World)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Scale:        scale,
+		World:        world,
+		Topology:     scale.Topology(),
+		Models:       map[int]*dnn.Network{},
+		PruneReports: map[int]pruning.Report{},
+		scores:       map[int][][][]float64{},
+	}
+
+	trainSet := world.SynthesizeSet(scale.TrainUtts, scale.WordsPerUtt, 1001)
+	noise := scale.TestNoiseScale
+	if noise <= 0 {
+		noise = 1
+	}
+	sys.TestSet = world.SynthesizeSetNoisy(scale.TestUtts, scale.WordsPerUtt, 2002, noise)
+	sys.TrainSamples = speech.TrainingSamples(trainSet, scale.Context)
+	sys.TestSamples = speech.TrainingSamples(sys.TestSet, scale.Context)
+
+	baseline := sys.Topology.Build(mat.NewRNG(7))
+	dnn.NewTrainer(baseline).Train(sys.TrainSamples, scale.BaselineTrain)
+	sys.Models[0] = baseline
+
+	for _, lv := range levels {
+		if lv == 0 {
+			continue
+		}
+		res, err := pruning.PruneAndRetrain(baseline, sys.TrainSamples, pruning.Config{
+			Target:  float64(lv) / 100,
+			Retrain: scale.Retrain,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("asr: pruning to %d%%: %w", lv, err)
+		}
+		sys.Models[lv] = res.Net
+		sys.PruneReports[lv] = res.Report
+	}
+
+	sys.Graph = wfst.Compile(world)
+	sys.Decoder = decoder.New(sys.Graph)
+	return sys, nil
+}
+
+// Levels returns the available pruning levels in ascending order.
+func (s *System) Levels() []int {
+	var out []int
+	for lv := range s.Models {
+		out = append(out, lv)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Scores returns (computing and caching on first use) the per-frame
+// acoustic log-posteriors of every test utterance under the model at
+// the given pruning level.
+func (s *System) Scores(level int) [][][]float64 {
+	if sc, ok := s.scores[level]; ok {
+		return sc
+	}
+	net, ok := s.Models[level]
+	if !ok {
+		panic(fmt.Sprintf("asr: no model at pruning level %d", level))
+	}
+	// Forward passes dominate experiment setup time; utterances are
+	// independent, so score them on all cores. Each worker clones the
+	// network because inference reuses per-network scratch buffers.
+	all := make([][][]float64, len(s.TestSet))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.TestSet) {
+		workers = len(s.TestSet)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := net.Clone()
+			for i := range work {
+				u := s.TestSet[i]
+				spliced := speech.SpliceAll(u.Frames, s.Scale.Context)
+				scores := make([][]float64, len(spliced))
+				for t, in := range spliced {
+					vec := make([]float64, s.World.NumSenones())
+					local.LogPosteriors(vec, in)
+					scores[t] = vec
+				}
+				all[i] = scores
+			}
+		}()
+	}
+	for i := range s.TestSet {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	s.scores[level] = all
+	return all
+}
+
+// Quality evaluates frame-level model quality on the test samples.
+func (s *System) Quality(level int) (top1, top5, confidence float64) {
+	return dnn.Evaluate(s.Models[level], s.TestSamples)
+}
+
+// TotalTestFrames reports the number of acoustic frames in the test
+// set (the per-frame DNN cost multiplier).
+func (s *System) TotalTestFrames() int {
+	n := 0
+	for _, u := range s.TestSet {
+		n += u.NumFrames()
+	}
+	return n
+}

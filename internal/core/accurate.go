@@ -1,0 +1,110 @@
+package core
+
+import "container/heap"
+
+// AccurateNBest keeps exactly the N cheapest hypotheses seen in a
+// frame — the oracle the paper's loose hash table approximates. It is
+// the "N-Best Accurate" line of Figure 7 and the reference for the
+// similarity metric of Figure 9. The required partial sort is what the
+// paper deems too expensive to build in hardware; here it costs
+// O(log N) per insert.
+type AccurateNBest[P any] struct {
+	n     int
+	items []*accItem[P]          // max-heap by cost
+	index map[uint64]*accItem[P] // key -> item
+	stats Stats
+}
+
+type accItem[P any] struct {
+	key     uint64
+	cost    float64
+	payload P
+	pos     int
+}
+
+// NewAccurateNBest builds an oracle store with capacity n.
+func NewAccurateNBest[P any](n int) *AccurateNBest[P] {
+	if n <= 0 {
+		panic("core: AccurateNBest requires n > 0")
+	}
+	return &AccurateNBest[P]{n: n, index: make(map[uint64]*accItem[P], n)}
+}
+
+// Capacity reports N.
+func (t *AccurateNBest[P]) Capacity() int { return t.n }
+
+// Len reports the number of stored hypotheses.
+func (t *AccurateNBest[P]) Len() int { return len(t.items) }
+
+// Stats returns accumulated activity counters.
+func (t *AccurateNBest[P]) Stats() Stats { return t.stats }
+
+// Reset clears contents; counters accumulate.
+func (t *AccurateNBest[P]) Reset() {
+	t.items = t.items[:0]
+	clear(t.index)
+}
+
+// Insert offers a hypothesis, keeping the N cheapest with
+// recombination on key.
+func (t *AccurateNBest[P]) Insert(key uint64, cost float64, payload P) Outcome {
+	t.stats.Inserts++
+	t.stats.Cycles++
+	if it, ok := t.index[key]; ok {
+		t.stats.Recombines++
+		if cost < it.cost {
+			it.cost = cost
+			it.payload = payload
+			heap.Fix((*accHeap[P])(t), it.pos)
+		}
+		return Recombined
+	}
+	if len(t.items) < t.n {
+		it := &accItem[P]{key: key, cost: cost, payload: payload}
+		heap.Push((*accHeap[P])(t), it)
+		t.index[key] = it
+		t.stats.Stored++
+		return Inserted
+	}
+	worst := t.items[0]
+	if cost >= worst.cost {
+		t.stats.Rejections++
+		return Rejected
+	}
+	delete(t.index, worst.key)
+	worst.key = key
+	worst.cost = cost
+	worst.payload = payload
+	t.index[key] = worst
+	heap.Fix((*accHeap[P])(t), 0)
+	t.stats.Evictions++
+	return Evicted
+}
+
+// Each visits every stored hypothesis.
+func (t *AccurateNBest[P]) Each(fn func(key uint64, cost float64, payload P)) {
+	for _, it := range t.items {
+		fn(it.key, it.cost, it.payload)
+	}
+}
+
+// accHeap adapts AccurateNBest to container/heap as a max-heap on cost.
+type accHeap[P any] AccurateNBest[P]
+
+func (h *accHeap[P]) Len() int           { return len(h.items) }
+func (h *accHeap[P]) Less(i, j int) bool { return h.items[i].cost > h.items[j].cost }
+func (h *accHeap[P]) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].pos = i
+	h.items[j].pos = j
+}
+func (h *accHeap[P]) Push(x any) {
+	it := x.(*accItem[P])
+	it.pos = len(h.items)
+	h.items = append(h.items, it)
+}
+func (h *accHeap[P]) Pop() any {
+	it := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return it
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccurateNBestKeepsExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 16
+		tab := NewAccurateNBest[int](n)
+		total := 40 + rng.Intn(100)
+		costs := make([]float64, total)
+		for i := range costs {
+			costs[i] = rng.Float64() * 1000
+			tab.Insert(uint64(i), costs[i], i)
+		}
+		sorted := append([]float64(nil), costs...)
+		sort.Float64s(sorted)
+		var kept []float64
+		tab.Each(func(k uint64, c float64, p int) { kept = append(kept, c) })
+		sort.Float64s(kept)
+		if len(kept) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if kept[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccurateNBestRecombination(t *testing.T) {
+	tab := NewAccurateNBest[int](4)
+	tab.Insert(1, 10, 0)
+	if tab.Insert(1, 5, 1) != Recombined {
+		t.Fatalf("expected recombination")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tab.Each(func(k uint64, c float64, p int) {
+		if c != 5 || p != 1 {
+			t.Fatalf("recombine kept %v/%d", c, p)
+		}
+	})
+	// worse duplicate is ignored
+	tab.Insert(1, 50, 2)
+	tab.Each(func(k uint64, c float64, p int) {
+		if c != 5 {
+			t.Fatalf("worse duplicate overwrote: %v", c)
+		}
+	})
+}
+
+func TestAccurateNBestEvictionUpdatesIndex(t *testing.T) {
+	tab := NewAccurateNBest[int](2)
+	tab.Insert(1, 10, 0)
+	tab.Insert(2, 20, 0)
+	if tab.Insert(3, 5, 0) != Evicted {
+		t.Fatalf("expected eviction of cost 20")
+	}
+	// evicted key must be insertable again
+	if tab.Insert(2, 1, 0) != Evicted { // evicts cost 10
+		t.Fatalf("re-inserting evicted key failed")
+	}
+	keys := Keys[int](tab)
+	if !keys[2] || !keys[3] || len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestAccurateNBestPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewAccurateNBest[int](0)
+}
+
+func TestSimilarityIdenticalStreams(t *testing.T) {
+	stream := make([]Hypo, 100)
+	rng := rand.New(rand.NewSource(2))
+	for i := range stream {
+		stream[i] = Hypo{Key: uint64(i), Cost: rng.Float64()}
+	}
+	a := NewAccurateNBest[int](32)
+	b := NewAccurateNBest[int](32)
+	ReplayInto[int](a, stream, 0)
+	ReplayInto[int](b, stream, 0)
+	if sim := Similarity[int](a, b, 32); sim != 1 {
+		t.Fatalf("identical oracles should have similarity 1, got %v", sim)
+	}
+}
+
+func TestSimilaritySetAssocApproachesOracleWithWays(t *testing.T) {
+	// Figure 9's headline property: higher associativity = higher
+	// similarity to accurate N-best, for the same N.
+	const n = 64
+	stream := make([]Hypo, 2000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range stream {
+		stream[i] = Hypo{Key: uint64(i), Cost: rng.Float64() * 100}
+	}
+	oracle := NewAccurateNBest[int](n)
+	ReplayInto[int](oracle, stream, 0)
+
+	var sims []float64
+	for _, ways := range []int{1, 2, 4, 8} {
+		loose := NewSetAssoc[int](n/ways, ways)
+		ReplayInto[int](loose, stream, 0)
+		sims = append(sims, Similarity[int](loose, oracle, n))
+	}
+	for i := 1; i < len(sims); i++ {
+		if sims[i] < sims[i-1]-0.02 { // allow tiny non-monotonic noise
+			t.Fatalf("similarity not increasing with ways: %v", sims)
+		}
+	}
+	if sims[len(sims)-1] < 0.8 {
+		t.Fatalf("8-way similarity %v below the paper's 80%% floor", sims[len(sims)-1])
+	}
+}
+
+func TestSimilarityEdgeCases(t *testing.T) {
+	a := NewAccurateNBest[int](4)
+	b := NewAccurateNBest[int](4)
+	if Similarity[int](a, b, 0) != 0 {
+		t.Fatalf("n=0 should give 0")
+	}
+	if Similarity[int](a, b, 4) != 0 {
+		t.Fatalf("empty stores share nothing")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Inserts: 1, Stored: 2, Recombines: 3, Evictions: 4, Rejections: 5,
+		Collisions: 6, BackupAccesses: 7, Overflows: 8, Cycles: 9}
+	var b Stats
+	b.Add(a)
+	b.Add(a)
+	if b.Inserts != 2 || b.Cycles != 18 || b.Overflows != 16 {
+		t.Fatalf("Add broken: %+v", b)
+	}
+}

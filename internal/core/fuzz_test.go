@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSetAssocInsert drives the N-best table with arbitrary insert
+// streams and checks the structural invariants after every frame: the
+// per-set Max-Heap property, capacity bounds, and agreement between
+// valid bits and heap size.
+func FuzzSetAssocInsert(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := NewSetAssoc[int](2, 5)
+		for i := 0; i+3 <= len(data) && i < 600; i += 3 {
+			key := uint64(data[i] % 32)
+			cost := float64(binary.LittleEndian.Uint16(data[i+1 : i+3]))
+			if data[i]%29 == 0 {
+				tab.Reset()
+			}
+			tab.Insert(key, cost, i)
+			if tab.Len() > tab.Capacity() {
+				t.Fatalf("capacity exceeded: %d > %d", tab.Len(), tab.Capacity())
+			}
+		}
+		// heap invariant over every set
+		for s := 0; s < tab.Sets(); s++ {
+			heap := tab.HeapCosts(s)
+			for h := 1; h < len(heap); h++ {
+				if heap[(h-1)/2] < heap[h] {
+					t.Fatalf("set %d: heap violated: %v", s, heap)
+				}
+			}
+			_, valid, heapIdx, _ := tab.SetSnapshot(s)
+			nvalid := 0
+			for _, v := range valid {
+				if v {
+					nvalid++
+				}
+			}
+			if nvalid != len(heapIdx) {
+				t.Fatalf("set %d: %d valid vs heap size %d", s, nvalid, len(heapIdx))
+			}
+		}
+		// every stored key appears exactly once
+		seen := map[uint64]int{}
+		tab.Each(func(k uint64, c float64, p int) { seen[k]++ })
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("key %d stored %d times", k, n)
+			}
+		}
+	})
+}
+
+// FuzzUnboundedInsert checks the UNFOLD-style store never drops or
+// duplicates hypotheses regardless of collision/overflow pressure.
+func FuzzUnboundedInsert(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := NewUnbounded[int](4, 2, 10)
+		want := map[uint64]float64{}
+		for i := 0; i+2 <= len(data) && i < 400; i += 2 {
+			key := uint64(data[i] % 64)
+			cost := float64(data[i+1])
+			tab.Insert(key, cost, i)
+			if old, ok := want[key]; !ok || cost < old {
+				want[key] = cost
+			}
+		}
+		got := map[uint64]float64{}
+		tab.Each(func(k uint64, c float64, p int) {
+			if _, dup := got[k]; dup {
+				t.Fatalf("key %d duplicated", k)
+			}
+			got[k] = c
+		})
+		if len(got) != len(want) {
+			t.Fatalf("stored %d keys, want %d", len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("key %d: cost %v, want min %v", k, got[k], c)
+			}
+		}
+	})
+}

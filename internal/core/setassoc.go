@@ -1,0 +1,332 @@
+package core
+
+import "fmt"
+
+// SetAssoc is the paper's N-best hash table: Sets × Ways entries, a
+// Max-Heap per set ordered by cost, and a Maximum-path index vector
+// that lets a replacement complete with all comparisons in parallel —
+// the single-cycle design of Section III-B.
+//
+// Insert policy per set:
+//   - key already present  → recombine (keep min cost)
+//   - free way             → store
+//   - full, cost >= set max → reject
+//   - full, cost <  set max → evict the max along the Maximum-path
+type SetAssoc[P any] struct {
+	sets, ways int
+
+	// flat entry storage: set s occupies [s*ways, (s+1)*ways)
+	keys    []uint64
+	costs   []float64
+	payload []P
+	valid   []bool
+
+	// Per-set Max-Heap metadata, mirroring the hardware of Figure 8.
+	// heapIdx[s*ways+h] is the entry index (way) stored at heap node h.
+	// maxPath[s*depth+l] is the heap-node index at level l of the
+	// maximum path (root excluded root is node 0; the path lists the
+	// nodes visited when following the max-cost child from the root).
+	heapIdx  []uint8
+	heapSize []int
+	maxPath  []int8
+	depth    int
+
+	count int
+	stats Stats
+
+	// evictionCycles models the replacement latency: 1 for the paper's
+	// Max-Heap + Maximum-path design (all comparisons in parallel), 3
+	// for the naive tree-of-comparators alternative the paper rejects
+	// (2.82 ns critical path = 3 cycles at the 1.25 ns UNFOLD clock).
+	evictionCycles int64
+}
+
+// NewSetAssoc builds a table with the given number of sets and ways.
+// N (the loose hypothesis bound) is sets*ways; the paper's instance is
+// 128 sets × 8 ways = 1024.
+func NewSetAssoc[P any](sets, ways int) *SetAssoc[P] {
+	if sets <= 0 || ways <= 0 || ways > 255 {
+		panic(fmt.Sprintf("core: invalid table geometry %d sets x %d ways", sets, ways))
+	}
+	depth := 0
+	for (1 << (depth + 1)) <= ways {
+		depth++
+	}
+	t := &SetAssoc[P]{
+		sets: sets, ways: ways, depth: depth,
+		keys:     make([]uint64, sets*ways),
+		costs:    make([]float64, sets*ways),
+		payload:  make([]P, sets*ways),
+		valid:    make([]bool, sets*ways),
+		heapIdx:  make([]uint8, sets*ways),
+		heapSize: make([]int, sets),
+		maxPath:  make([]int8, sets*max(depth, 1)),
+
+		evictionCycles: 1,
+	}
+	return t
+}
+
+// SetEvictionCycles overrides the modelled replacement latency; used
+// by the heap-vs-comparator-tree ablation. The design point of the
+// paper is 1 (single cycle); a three-level comparator tree costs 3.
+func (t *SetAssoc[P]) SetEvictionCycles(c int64) {
+	if c < 1 {
+		c = 1
+	}
+	t.evictionCycles = c
+}
+
+// Sets reports the number of sets.
+func (t *SetAssoc[P]) Sets() int { return t.sets }
+
+// Ways reports the associativity.
+func (t *SetAssoc[P]) Ways() int { return t.ways }
+
+// Capacity reports sets*ways, the loose N bound.
+func (t *SetAssoc[P]) Capacity() int { return t.sets * t.ways }
+
+// Len reports the number of stored hypotheses.
+func (t *SetAssoc[P]) Len() int { return t.count }
+
+// Stats returns the accumulated activity counters.
+func (t *SetAssoc[P]) Stats() Stats { return t.stats }
+
+// Reset clears the table; statistics accumulate across frames.
+func (t *SetAssoc[P]) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	for s := range t.heapSize {
+		t.heapSize[s] = 0
+	}
+	t.count = 0
+}
+
+func (t *SetAssoc[P]) setOf(key uint64) int {
+	return int(hashKey(key) % uint64(t.sets))
+}
+
+// Insert offers a hypothesis to the table. Every access is modelled as
+// a single cycle: lookup, free-slot insert and Max-Heap replacement all
+// complete in one cycle in the synthesized design (1.21 ns < the 1.25 ns
+// UNFOLD clock).
+func (t *SetAssoc[P]) Insert(key uint64, cost float64, payload P) Outcome {
+	t.stats.Inserts++
+	t.stats.Cycles++ // single-cycle guarantee of the design
+	s := t.setOf(key)
+	base := s * t.ways
+
+	// Associative key match (parallel comparators in hardware).
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			t.stats.Recombines++
+			if cost < t.costs[i] {
+				t.costs[i] = cost
+				t.payload[i] = payload
+				t.siftDown(s, t.heapPosOf(s, uint8(w)))
+				t.rebuildMaxPath(s)
+			}
+			return Recombined
+		}
+	}
+
+	// Free way?
+	if t.heapSize[s] < t.ways {
+		for w := 0; w < t.ways; w++ {
+			i := base + w
+			if !t.valid[i] {
+				t.valid[i] = true
+				t.keys[i] = key
+				t.costs[i] = cost
+				t.payload[i] = payload
+				t.heapPush(s, uint8(w))
+				t.count++
+				t.stats.Stored++
+				return Inserted
+			}
+		}
+		panic("core: heapSize disagrees with valid bits")
+	}
+
+	// Full set: compare with the root (set maximum).
+	rootWay := t.heapIdx[base]
+	if cost >= t.costs[base+int(rootWay)] {
+		t.stats.Rejections++
+		return Rejected
+	}
+	t.replaceMax(s, key, cost, payload)
+	t.stats.Evictions++
+	t.stats.Cycles += t.evictionCycles - 1 // extra latency beyond the base access
+	return Evicted
+}
+
+// Each visits every stored hypothesis. Reading the surviving
+// hypotheses back for the next frame costs one cycle per entry, all
+// on chip — the table is small enough that there is no DRAM tail.
+func (t *SetAssoc[P]) Each(fn func(key uint64, cost float64, payload P)) {
+	for i, ok := range t.valid {
+		if ok {
+			t.stats.Cycles++
+			fn(t.keys[i], t.costs[i], t.payload[i])
+		}
+	}
+}
+
+// SetSnapshot exposes the internal state of one set for tests and the
+// Figure 8 worked example: entry costs by way, the Max-Heap index
+// vector (way stored at each heap node) and the Maximum-path node ids.
+func (t *SetAssoc[P]) SetSnapshot(s int) (costs []float64, valid []bool, heapIdx []uint8, maxPath []int8) {
+	base := s * t.ways
+	costs = append(costs, t.costs[base:base+t.ways]...)
+	valid = append(valid, t.valid[base:base+t.ways]...)
+	heapIdx = append(heapIdx, t.heapIdx[base:base+t.heapSize[s]]...)
+	d := t.depth
+	if d < 1 {
+		d = 1
+	}
+	maxPath = append(maxPath, t.maxPath[s*d:s*d+t.depth]...)
+	return costs, valid, heapIdx, maxPath
+}
+
+// HeapCosts returns the costs in heap order for set s (root first).
+func (t *SetAssoc[P]) HeapCosts(s int) []float64 {
+	out := make([]float64, t.heapSize[s])
+	for h := range out {
+		out[h] = t.heapCost(s, h)
+	}
+	return out
+}
+
+// --- Max-Heap machinery -------------------------------------------------
+
+// heapCost returns the cost at heap node h of set s.
+func (t *SetAssoc[P]) heapCost(s, h int) float64 {
+	return t.costs[s*t.ways+int(t.heapIdx[s*t.ways+h])]
+}
+
+// heapPosOf finds the heap node currently holding way w (linear scan;
+// hardware keeps this as a reverse index vector).
+func (t *SetAssoc[P]) heapPosOf(s int, w uint8) int {
+	base := s * t.ways
+	for h := 0; h < t.heapSize[s]; h++ {
+		if t.heapIdx[base+h] == w {
+			return h
+		}
+	}
+	panic("core: way not present in heap")
+}
+
+func (t *SetAssoc[P]) heapSwap(s, a, b int) {
+	base := s * t.ways
+	t.heapIdx[base+a], t.heapIdx[base+b] = t.heapIdx[base+b], t.heapIdx[base+a]
+}
+
+// heapPush adds way w to set s's heap and restores the heap property.
+func (t *SetAssoc[P]) heapPush(s int, w uint8) {
+	h := t.heapSize[s]
+	t.heapIdx[s*t.ways+h] = w
+	t.heapSize[s]++
+	for h > 0 {
+		parent := (h - 1) / 2
+		if t.heapCost(s, h) <= t.heapCost(s, parent) {
+			break
+		}
+		t.heapSwap(s, h, parent)
+		h = parent
+	}
+	t.rebuildMaxPath(s)
+}
+
+// siftDown restores the max-heap property downward from node h (used
+// after a recombination decreased a cost).
+func (t *SetAssoc[P]) siftDown(s, h int) {
+	n := t.heapSize[s]
+	for {
+		l, r := 2*h+1, 2*h+2
+		largest := h
+		if l < n && t.heapCost(s, l) > t.heapCost(s, largest) {
+			largest = l
+		}
+		if r < n && t.heapCost(s, r) > t.heapCost(s, largest) {
+			largest = r
+		}
+		if largest == h {
+			return
+		}
+		t.heapSwap(s, h, largest)
+		h = largest
+	}
+}
+
+// rebuildMaxPath recomputes the Maximum-path metadata of set s: the
+// heap nodes visited following the maximum-cost child from the root.
+// The hardware updates this vector on every insertion (Section III-B);
+// rebuilding is its software equivalent.
+func (t *SetAssoc[P]) rebuildMaxPath(s int) {
+	n := t.heapSize[s]
+	h := 0
+	for l := 0; l < t.depth; l++ {
+		left, right := 2*h+1, 2*h+2
+		next := -1
+		if left < n {
+			next = left
+		}
+		if right < n && t.heapCost(s, right) > t.heapCost(s, left) {
+			next = right
+		}
+		t.maxPath[s*max(t.depth, 1)+l] = int8(next)
+		if next < 0 {
+			break
+		}
+		h = next
+	}
+}
+
+// replaceMax implements the single-cycle replacement of Figure 8: the
+// new hypothesis' cost is compared in parallel against every node on
+// the Maximum-path; nodes costlier than the newcomer shift up one
+// level, and the newcomer takes the deepest vacated node. Only the
+// 3-bit indices in the heap index vector move — entry data stays put.
+func (t *SetAssoc[P]) replaceMax(s int, key uint64, cost float64, payload P) {
+	base := s * t.ways
+	victimWay := t.heapIdx[base] // root holds the set maximum
+
+	// Gather the maximum path: root, then stored path nodes.
+	path := make([]int, 1, t.depth+1)
+	path[0] = 0
+	for l := 0; l < t.depth; l++ {
+		next := int(t.maxPath[s*max(t.depth, 1)+l])
+		if next < 0 {
+			break
+		}
+		path = append(path, next)
+	}
+
+	// Parallel comparisons: find how deep the newcomer sinks. Costs
+	// along the path are non-increasing, so the comparison outcomes
+	// form a prefix of "shift up".
+	place := 0
+	for i := 1; i < len(path); i++ {
+		if t.heapCost(s, path[i]) > cost {
+			place = i
+		} else {
+			break
+		}
+	}
+
+	// Shift path nodes up one level and drop the newcomer in.
+	for i := 1; i <= place; i++ {
+		t.heapIdx[base+path[i-1]] = t.heapIdx[base+path[i]]
+	}
+	t.heapIdx[base+path[place]] = victimWay
+
+	// The victim's way now stores the newcomer.
+	i := base + int(victimWay)
+	t.keys[i] = key
+	t.costs[i] = cost
+	t.payload[i] = payload
+
+	t.rebuildMaxPath(s)
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkHeapInvariant verifies every set's Max-Heap property and that
+// the heap index vector is a permutation of the valid ways.
+func checkHeapInvariant(t *testing.T, tab *SetAssoc[int]) {
+	t.Helper()
+	for s := 0; s < tab.Sets(); s++ {
+		heap := tab.HeapCosts(s)
+		for h := 1; h < len(heap); h++ {
+			parent := (h - 1) / 2
+			if heap[parent] < heap[h] {
+				t.Fatalf("set %d: heap violation at node %d: parent %v < child %v (heap %v)",
+					s, h, heap[parent], heap[h], heap)
+			}
+		}
+		_, valid, heapIdx, _ := tab.SetSnapshot(s)
+		seen := map[uint8]bool{}
+		for _, w := range heapIdx {
+			if seen[w] {
+				t.Fatalf("set %d: way %d appears twice in heap index vector", s, w)
+			}
+			seen[w] = true
+			if !valid[w] {
+				t.Fatalf("set %d: heap references invalid way %d", s, w)
+			}
+		}
+		nvalid := 0
+		for _, v := range valid {
+			if v {
+				nvalid++
+			}
+		}
+		if nvalid != len(heapIdx) {
+			t.Fatalf("set %d: %d valid entries but heap size %d", s, nvalid, len(heapIdx))
+		}
+	}
+}
+
+func TestSetAssocBasicInsert(t *testing.T) {
+	tab := NewSetAssoc[int](1, 4)
+	if got := tab.Insert(1, 5, 100); got != Inserted {
+		t.Fatalf("first insert = %v", got)
+	}
+	if got := tab.Insert(1, 7, 101); got != Recombined {
+		t.Fatalf("same key = %v", got)
+	}
+	// recombination must keep the *minimum* cost
+	tab.Each(func(k uint64, c float64, p int) {
+		if k == 1 && (c != 5 || p != 100) {
+			t.Fatalf("recombination overwrote better cost: %v payload %d", c, p)
+		}
+	})
+	if got := tab.Insert(1, 2, 102); got != Recombined {
+		t.Fatalf("same key = %v", got)
+	}
+	found := false
+	tab.Each(func(k uint64, c float64, p int) {
+		if k == 1 {
+			found = true
+			if c != 2 || p != 102 {
+				t.Fatalf("recombination failed to improve: cost %v payload %d", c, p)
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("key 1 missing")
+	}
+}
+
+func TestSetAssocEvictsWorst(t *testing.T) {
+	tab := NewSetAssoc[int](1, 4)
+	costs := []float64{10, 20, 30, 40}
+	for i, c := range costs {
+		tab.Insert(uint64(i), c, i)
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	// inserting something worse than everything must be rejected
+	if got := tab.Insert(99, 50, 99); got != Rejected {
+		t.Fatalf("expected Rejected, got %v", got)
+	}
+	// inserting something better must evict cost 40
+	if got := tab.Insert(100, 25, 100); got != Evicted {
+		t.Fatalf("expected Evicted, got %v", got)
+	}
+	kept := map[uint64]bool{}
+	tab.Each(func(k uint64, c float64, p int) { kept[k] = true })
+	if kept[3] {
+		t.Fatalf("worst entry (cost 40) should have been evicted")
+	}
+	if !kept[100] {
+		t.Fatalf("newcomer missing")
+	}
+	checkHeapInvariant(t, tab)
+}
+
+func TestSetAssocPaperExample(t *testing.T) {
+	// Figure 8 of the paper: 7 hypotheses, insert cost 40, the root
+	// (100) is replaced; 80 and 70 shift up along the Maximum-path.
+	tab := NewSetAssoc[int](1, 7)
+	for _, c := range []float64{80, 70, 50, 100, 30, 10, 60} {
+		tab.Insert(uint64(c), c, 0)
+	}
+	heap := tab.HeapCosts(0)
+	if heap[0] != 100 {
+		t.Fatalf("root should be 100, heap %v", heap)
+	}
+	if got := tab.Insert(40, 40, 0); got != Evicted {
+		t.Fatalf("insert 40 = %v", got)
+	}
+	heap = tab.HeapCosts(0)
+	if heap[0] != 80 {
+		t.Fatalf("new root should be 80, heap %v", heap)
+	}
+	sorted := append([]float64(nil), heap...)
+	sort.Float64s(sorted)
+	want := []float64{10, 30, 40, 50, 60, 70, 80}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("kept costs %v, want %v", sorted, want)
+		}
+	}
+	checkHeapInvariant(t, tab)
+}
+
+func TestSetAssocKeepsKSmallestPerSet(t *testing.T) {
+	// property: with one set, the table keeps exactly the K cheapest
+	// distinct-key hypotheses of any insert stream.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const ways = 8
+		tab := NewSetAssoc[int](1, ways)
+		n := 50 + rng.Intn(100)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = math.Floor(rng.Float64() * 1000) // distinct-ish
+			tab.Insert(uint64(i), costs[i], i)
+		}
+		sorted := append([]float64(nil), costs...)
+		sort.Float64s(sorted)
+		threshold := sorted[ways-1]
+		var kept []float64
+		tab.Each(func(k uint64, c float64, p int) { kept = append(kept, c) })
+		if len(kept) != ways {
+			return false
+		}
+		sort.Float64s(kept)
+		// every kept cost must be <= the K-th smallest (ties make exact
+		// set comparison ambiguous, so compare values)
+		for i := 0; i < ways; i++ {
+			if kept[i] > threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAssocHeapInvariantUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := NewSetAssoc[int](4, 8)
+	for frame := 0; frame < 20; frame++ {
+		tab.Reset()
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(60)) // frequent recombinations
+			tab.Insert(key, rng.Float64()*100, i)
+		}
+		checkHeapInvariant(t, tab)
+	}
+}
+
+func TestSetAssocRecombinationDecreaseKey(t *testing.T) {
+	// decreasing an existing cost must re-heapify correctly
+	tab := NewSetAssoc[int](1, 8)
+	for i := 0; i < 8; i++ {
+		tab.Insert(uint64(i), float64(10+i*10), i)
+	}
+	// key 7 has the max cost 80; decrease it to 5
+	tab.Insert(7, 5, 7)
+	checkHeapInvariant(t, tab)
+	heap := tab.HeapCosts(0)
+	if heap[0] != 70 {
+		t.Fatalf("root should now be 70, heap %v", heap)
+	}
+}
+
+func TestSetAssocReset(t *testing.T) {
+	tab := NewSetAssoc[int](2, 2)
+	tab.Insert(1, 1, 0)
+	tab.Insert(2, 2, 0)
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after reset = %d", tab.Len())
+	}
+	count := 0
+	tab.Each(func(uint64, float64, int) { count++ })
+	if count != 0 {
+		t.Fatalf("Each visited %d after reset", count)
+	}
+	// stats must survive reset
+	if tab.Stats().Inserts != 2 {
+		t.Fatalf("stats lost on reset: %+v", tab.Stats())
+	}
+	// table must be reusable
+	if tab.Insert(3, 3, 0) != Inserted {
+		t.Fatalf("insert after reset failed")
+	}
+	checkHeapInvariant(t, tab)
+}
+
+func TestSetAssocStatsAccounting(t *testing.T) {
+	tab := NewSetAssoc[int](1, 2)
+	tab.Insert(1, 10, 0) // stored
+	tab.Insert(2, 20, 0) // stored
+	tab.Insert(1, 5, 0)  // recombine
+	tab.Insert(3, 1, 0)  // evict 20
+	tab.Insert(4, 99, 0) // rejected
+	st := tab.Stats()
+	if st.Inserts != 5 || st.Stored != 2 || st.Recombines != 1 || st.Evictions != 1 || st.Rejections != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// single-cycle design: exactly one cycle per insert
+	if st.Cycles != 5 {
+		t.Fatalf("cycles = %d, want 5 (one per access)", st.Cycles)
+	}
+}
+
+func TestSetAssocGeometryPanics(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {4, 0}, {-1, 8}, {1, 300}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geometry %v should panic", bad)
+				}
+			}()
+			NewSetAssoc[int](bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSetAssocNonPowerOfTwoWays(t *testing.T) {
+	// 7-way (the paper's worked example) and other odd geometries
+	for _, ways := range []int{1, 2, 3, 5, 7, 8} {
+		tab := NewSetAssoc[int](3, ways)
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 200; i++ {
+			tab.Insert(uint64(rng.Intn(100)), rng.Float64()*50, i)
+		}
+		checkHeapInvariant(t, tab)
+		if tab.Len() > 3*ways {
+			t.Fatalf("capacity exceeded: %d > %d", tab.Len(), 3*ways)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+// Keys returns the set of keys currently stored.
+func Keys[P any](s Store[P]) map[uint64]bool {
+	out := map[uint64]bool{}
+	s.Each(func(key uint64, _ float64, _ P) { out[key] = true })
+	return out
+}
+
+// Similarity implements the metric of Figure 9: the number of
+// hypotheses chosen by both stores divided by n (the N-best bound).
+// a is typically a loose store, b the accurate oracle fed the same
+// insert stream.
+func Similarity[P any](a, b Store[P], n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	ka, kb := Keys(a), Keys(b)
+	common := 0
+	for k := range ka {
+		if kb[k] {
+			common++
+		}
+	}
+	return float64(common) / float64(n)
+}
+
+// Replay feeds a recorded stream of hypotheses to a store; used by
+// tests and the Figure 9 experiment to present identical streams to
+// different table designs.
+type Hypo struct {
+	Key  uint64
+	Cost float64
+}
+
+// ReplayInto inserts every hypothesis of the stream into s.
+func ReplayInto[P any](s Store[P], stream []Hypo, payload P) {
+	for _, h := range stream {
+		s.Insert(h.Key, h.Cost, payload)
+	}
+}

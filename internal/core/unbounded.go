@@ -1,0 +1,184 @@
+package core
+
+// Unbounded models UNFOLD's hypothesis storage (Section III-A): a
+// direct-mapped hash table backed by an on-chip backup buffer for
+// collisions and a DRAM overflow buffer once on-chip space is
+// exhausted. Nothing is ever dropped — this is the baseline whose
+// workload explodes under pruned DNNs.
+//
+// Cycle model, following the paper's description:
+//   - direct-mapped hit or free slot: 1 cycle
+//   - collision chained into the backup buffer: 1 cycle per chain hop
+//   - overflow entry: DRAMPenalty cycles per access (main-memory latency)
+type Unbounded[P any] struct {
+	// geometry
+	directEntries int
+	backupEntries int
+	dramPenalty   int
+
+	direct   []dmEntry[P]
+	backup   []dmEntry[P] // chained; index 0 unused (0 = nil link)
+	overflow map[uint64]*ovEntry[P]
+
+	count int
+	stats Stats
+}
+
+type dmEntry[P any] struct {
+	valid   bool
+	key     uint64
+	cost    float64
+	payload P
+	next    int32 // backup-buffer chain link (0 = none)
+}
+
+type ovEntry[P any] struct {
+	cost    float64
+	payload P
+}
+
+// UNFOLD's published configuration: 32K direct-mapped entries, 16K
+// backup entries, and a main-memory overflow penalty of ~100 cycles at
+// the accelerator clock.
+const (
+	DefaultDirectEntries = 32 * 1024
+	DefaultBackupEntries = 16 * 1024
+	DefaultDRAMPenalty   = 100
+)
+
+// NewUnbounded builds the UNFOLD-style table. Pass zeros for defaults.
+func NewUnbounded[P any](directEntries, backupEntries, dramPenalty int) *Unbounded[P] {
+	if directEntries <= 0 {
+		directEntries = DefaultDirectEntries
+	}
+	if backupEntries <= 0 {
+		backupEntries = DefaultBackupEntries
+	}
+	if dramPenalty <= 0 {
+		dramPenalty = DefaultDRAMPenalty
+	}
+	return &Unbounded[P]{
+		directEntries: directEntries,
+		backupEntries: backupEntries,
+		dramPenalty:   dramPenalty,
+		direct:        make([]dmEntry[P], directEntries),
+		backup:        make([]dmEntry[P], 1, 1+backupEntries),
+		overflow:      map[uint64]*ovEntry[P]{},
+	}
+}
+
+// Capacity is 0: the store never drops hypotheses.
+func (t *Unbounded[P]) Capacity() int { return 0 }
+
+// Len reports the number of stored hypotheses.
+func (t *Unbounded[P]) Len() int { return t.count }
+
+// Stats returns accumulated activity counters.
+func (t *Unbounded[P]) Stats() Stats { return t.stats }
+
+// Reset clears contents; counters accumulate.
+func (t *Unbounded[P]) Reset() {
+	for i := range t.direct {
+		t.direct[i].valid = false
+		t.direct[i].next = 0
+	}
+	t.backup = t.backup[:1]
+	if len(t.overflow) > 0 {
+		t.overflow = map[uint64]*ovEntry[P]{}
+	}
+	t.count = 0
+}
+
+// Insert stores the hypothesis, recombining on key.
+func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
+	t.stats.Inserts++
+	t.stats.Cycles++ // direct-mapped probe
+	slot := &t.direct[hashKey(key)%uint64(t.directEntries)]
+
+	if !slot.valid {
+		slot.valid = true
+		slot.key = key
+		slot.cost = cost
+		slot.payload = payload
+		slot.next = 0
+		t.count++
+		t.stats.Stored++
+		return Inserted
+	}
+	if slot.key == key {
+		t.stats.Recombines++
+		if cost < slot.cost {
+			slot.cost = cost
+			slot.payload = payload
+		}
+		return Recombined
+	}
+
+	// Collision: walk the backup chain.
+	t.stats.Collisions++
+	link := &slot.next
+	for *link != 0 {
+		t.stats.BackupAccesses++
+		t.stats.Cycles++ // one cycle per chain hop
+		e := &t.backup[*link]
+		if e.key == key {
+			t.stats.Recombines++
+			if cost < e.cost {
+				e.cost = cost
+				e.payload = payload
+			}
+			return Recombined
+		}
+		link = &e.next
+	}
+
+	// Append to backup buffer if on-chip space remains.
+	if len(t.backup)-1 < t.backupEntries {
+		t.backup = append(t.backup, dmEntry[P]{valid: true, key: key, cost: cost, payload: payload})
+		*link = int32(len(t.backup) - 1)
+		t.count++
+		t.stats.Stored++
+		t.stats.BackupAccesses++
+		t.stats.Cycles++
+		return Inserted
+	}
+
+	// On-chip exhausted: overflow to main memory.
+	t.stats.Overflows++
+	t.stats.Cycles += int64(t.dramPenalty)
+	if e, ok := t.overflow[key]; ok {
+		t.stats.Recombines++
+		if cost < e.cost {
+			e.cost = cost
+			e.payload = payload
+		}
+		return Recombined
+	}
+	t.overflow[key] = &ovEntry[P]{cost: cost, payload: payload}
+	t.count++
+	t.stats.Stored++
+	return Inserted
+}
+
+// Each visits every stored hypothesis (direct, backup, overflow).
+// Reading the hypotheses back to seed the next frame is part of the
+// accelerator's work: one cycle per on-chip entry and a main-memory
+// round trip per overflow entry — the paper's "overflows have a huge
+// impact" cost, paid again on the way out.
+func (t *Unbounded[P]) Each(fn func(key uint64, cost float64, payload P)) {
+	for i := range t.direct {
+		if t.direct[i].valid {
+			t.stats.Cycles++
+			fn(t.direct[i].key, t.direct[i].cost, t.direct[i].payload)
+		}
+	}
+	for i := 1; i < len(t.backup); i++ {
+		t.stats.Cycles++
+		fn(t.backup[i].key, t.backup[i].cost, t.backup[i].payload)
+	}
+	for k, e := range t.overflow {
+		t.stats.Cycles += int64(t.dramPenalty)
+		t.stats.Overflows++
+		fn(k, e.cost, e.payload)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnboundedNeverDrops(t *testing.T) {
+	tab := NewUnbounded[int](4, 2, 10) // tiny: forces backup + overflow
+	const n = 100
+	for i := 0; i < n; i++ {
+		out := tab.Insert(uint64(i), float64(i), i)
+		if out == Rejected || out == Evicted {
+			t.Fatalf("unbounded store dropped a hypothesis: %v", out)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	seen := map[uint64]bool{}
+	tab.Each(func(k uint64, c float64, p int) { seen[k] = true })
+	if len(seen) != n {
+		t.Fatalf("Each visited %d distinct keys, want %d", len(seen), n)
+	}
+}
+
+func TestUnboundedRecombination(t *testing.T) {
+	tab := NewUnbounded[int](4, 2, 10)
+	// push enough keys that some land in direct, backup and overflow
+	for i := 0; i < 30; i++ {
+		tab.Insert(uint64(i), 100, i)
+	}
+	// re-insert all with better costs; all must recombine
+	for i := 0; i < 30; i++ {
+		if out := tab.Insert(uint64(i), 50, i+1000); out != Recombined {
+			t.Fatalf("key %d: expected Recombined, got %v", i, out)
+		}
+	}
+	tab.Each(func(k uint64, c float64, p int) {
+		if c != 50 || p < 1000 {
+			t.Fatalf("key %d kept stale cost %v payload %d", k, c, p)
+		}
+	})
+	// worse re-insert must not overwrite
+	tab.Insert(0, 70, 9999)
+	tab.Each(func(k uint64, c float64, p int) {
+		if k == 0 && c != 50 {
+			t.Fatalf("worse cost overwrote better: %v", c)
+		}
+	})
+}
+
+func TestUnboundedOverflowAccounting(t *testing.T) {
+	tab := NewUnbounded[int](2, 1, 100)
+	// capacity on chip = 2 direct + 1 backup = 3 entries; the rest
+	// overflow to "DRAM"
+	for i := 0; i < 10; i++ {
+		tab.Insert(uint64(i), float64(i), i)
+	}
+	st := tab.Stats()
+	if st.Overflows == 0 {
+		t.Fatalf("expected overflows, got %+v", st)
+	}
+	if st.Cycles < 100 {
+		t.Fatalf("overflow should cost DRAM cycles, got %d", st.Cycles)
+	}
+	if st.Stored != 10 {
+		t.Fatalf("stored = %d, want 10", st.Stored)
+	}
+}
+
+func TestUnboundedCheaperWhenFitting(t *testing.T) {
+	// the same stream must cost far fewer cycles when it fits on chip
+	stream := make([]Hypo, 200)
+	rng := rand.New(rand.NewSource(1))
+	for i := range stream {
+		stream[i] = Hypo{Key: uint64(i), Cost: rng.Float64()}
+	}
+	big := NewUnbounded[int](1024, 512, 100)
+	small := NewUnbounded[int](8, 4, 100)
+	ReplayInto[int](big, stream, 0)
+	ReplayInto[int](small, stream, 0)
+	if big.Stats().Cycles >= small.Stats().Cycles {
+		t.Fatalf("big table (%d cycles) should be cheaper than small (%d)",
+			big.Stats().Cycles, small.Stats().Cycles)
+	}
+}
+
+func TestUnboundedReset(t *testing.T) {
+	tab := NewUnbounded[int](4, 2, 10)
+	for i := 0; i < 20; i++ {
+		tab.Insert(uint64(i), 1, i)
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after reset", tab.Len())
+	}
+	n := 0
+	tab.Each(func(uint64, float64, int) { n++ })
+	if n != 0 {
+		t.Fatalf("Each visited %d after reset", n)
+	}
+	// chains must be fully severed: a fresh insert into a previously
+	// chained slot must not walk stale links
+	if out := tab.Insert(3, 1, 0); out != Inserted {
+		t.Fatalf("insert after reset = %v", out)
+	}
+}
+
+func TestUnboundedDefaults(t *testing.T) {
+	tab := NewUnbounded[int](0, 0, 0)
+	if tab.directEntries != DefaultDirectEntries || tab.backupEntries != DefaultBackupEntries {
+		t.Fatalf("defaults not applied: %d/%d", tab.directEntries, tab.backupEntries)
+	}
+	if tab.Capacity() != 0 {
+		t.Fatalf("unbounded store must report capacity 0")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Inserted: "inserted", Recombined: "recombined",
+		Evicted: "evicted", Rejected: "rejected", Outcome(42): "unknown",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", o, o.String())
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/speech"
+	"repro/internal/wfst"
+)
+
+// exactViterbi is an independent reference implementation: dense
+// dynamic programming over (state, frame) with repeated epsilon
+// relaxation, no beam, no stores. The production decoder with beam
+// pruning disabled must produce exactly the same best-path cost.
+func exactViterbi(f *wfst.FST, scores [][]float64) float64 {
+	n := f.NumStates()
+	cost := make([]float64, n)
+	for i := range cost {
+		cost[i] = math.Inf(1)
+	}
+	cost[f.Start] = 0
+
+	relaxEps := func() {
+		for changed := true; changed; {
+			changed = false
+			for s := 0; s < n; s++ {
+				if math.IsInf(cost[s], 1) {
+					continue
+				}
+				for _, a := range f.Arcs(int32(s)) {
+					if a.ILabel != wfst.Epsilon {
+						continue
+					}
+					if c := cost[s] + a.Weight; c < cost[a.Next] {
+						cost[a.Next] = c
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, frame := range scores {
+		relaxEps()
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = math.Inf(1)
+		}
+		for s := 0; s < n; s++ {
+			if math.IsInf(cost[s], 1) {
+				continue
+			}
+			for _, a := range f.Arcs(int32(s)) {
+				if a.ILabel == wfst.Epsilon {
+					continue
+				}
+				c := cost[s] + a.Weight - frame[wfst.SenoneOf(a.ILabel)]
+				if c < next[a.Next] {
+					next[a.Next] = c
+				}
+			}
+		}
+		cost = next
+	}
+	relaxEps()
+
+	best := math.Inf(1)
+	for s := 0; s < n; s++ {
+		if f.IsFinal(int32(s)) && cost[s]+f.FinalCost(int32(s)) < best {
+			best = cost[s] + f.FinalCost(int32(s))
+		}
+	}
+	return best
+}
+
+func TestDecoderMatchesExactViterbi(t *testing.T) {
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 5
+	cfg.Vocab = 6
+	cfg.FeatDim = 4
+	world, err := speech.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := wfst.Compile(world)
+	d := New(graph)
+	rng := mat.NewRNG(11)
+
+	for trial := 0; trial < 5; trial++ {
+		u := world.Synthesize(3, rng.Fork())
+		// noisy, non-oracle scores: a random senone log-posterior field
+		scores := make([][]float64, len(u.Frames))
+		for t2 := range scores {
+			raw := make([]float64, world.NumSenones())
+			rng.FillNorm(raw, 0, 2)
+			mat.LogSoftmax(raw, raw)
+			scores[t2] = raw
+		}
+		want := exactViterbi(graph, scores)
+		got := d.Decode(scores, Config{Beam: 0, AcousticScale: 1}) // no pruning
+		if !got.OK {
+			t.Fatalf("trial %d: decode failed", trial)
+		}
+		if math.Abs(got.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: decoder cost %v != exact %v", trial, got.Cost, want)
+		}
+	}
+}
+
+func TestBeamedDecodeNeverBeatsExact(t *testing.T) {
+	// with pruning the decoder may lose the best path but must never
+	// report a cost below the exact optimum
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 5
+	cfg.Vocab = 6
+	cfg.FeatDim = 4
+	world, _ := speech.NewWorld(cfg)
+	graph := wfst.Compile(world)
+	d := New(graph)
+	rng := mat.NewRNG(12)
+	for trial := 0; trial < 5; trial++ {
+		frames := 8 + rng.Intn(8)
+		scores := make([][]float64, frames)
+		for t2 := range scores {
+			raw := make([]float64, world.NumSenones())
+			rng.FillNorm(raw, 0, 2)
+			mat.LogSoftmax(raw, raw)
+			scores[t2] = raw
+		}
+		want := exactViterbi(graph, scores)
+		for _, beam := range []float64{4, 8, 15} {
+			got := d.Decode(scores, Config{Beam: beam, AcousticScale: 1})
+			if got.OK && got.Cost < want-1e-9 {
+				t.Fatalf("beam %v produced impossible cost %v < exact %v", beam, got.Cost, want)
+			}
+		}
+	}
+}
+
+func TestDecodeLazyMatchesEager(t *testing.T) {
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 5
+	cfg.Vocab = 6
+	cfg.FeatDim = 4
+	world, _ := speech.NewWorld(cfg)
+	eager := New(wfst.Compile(world))
+	rng := mat.NewRNG(31)
+	for trial := 0; trial < 3; trial++ {
+		frames := 10 + rng.Intn(6)
+		scores := make([][]float64, frames)
+		for i := range scores {
+			raw := make([]float64, world.NumSenones())
+			rng.FillNorm(raw, 0, 2)
+			mat.LogSoftmax(raw, raw)
+			scores[i] = raw
+		}
+		for _, beam := range []float64{0, 15} {
+			lazy := New(wfst.NewLazy(world)) // fresh cache per decode
+			dcfg := Config{Beam: beam, AcousticScale: 1}
+			a := eager.Decode(scores, dcfg)
+			b := lazy.Decode(scores, dcfg)
+			if a.OK != b.OK || math.Abs(a.Cost-b.Cost) > 1e-9 {
+				t.Fatalf("beam %v: eager (%v,%v) vs lazy (%v,%v)", beam, a.OK, a.Cost, b.OK, b.Cost)
+			}
+			if len(a.Words) != len(b.Words) {
+				t.Fatalf("word sequences differ: %v vs %v", a.Words, b.Words)
+			}
+			for i := range a.Words {
+				if a.Words[i] != b.Words[i] {
+					t.Fatalf("word sequences differ: %v vs %v", a.Words, b.Words)
+				}
+			}
+			// the beamed search must touch far fewer states than the
+			// virtual space
+			if beam > 0 {
+				lz := lazy.fst.(*wfst.Lazy)
+				if lz.MaterializedStates() >= lz.NumStates()/2 {
+					t.Fatalf("lazy decode materialized %d of %d states",
+						lz.MaterializedStates(), lz.NumStates())
+				}
+			}
+		}
+	}
+}

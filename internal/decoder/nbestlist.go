@@ -1,0 +1,71 @@
+package decoder
+
+import (
+	"sort"
+
+	"repro/internal/wer"
+)
+
+// Hypothesis is one complete decoding alternative: a word sequence and
+// its total path cost.
+type Hypothesis struct {
+	Words []int
+	Cost  float64
+}
+
+// NBest returns up to k distinct word sequences from the decode's
+// surviving final-state tokens, cheapest first. The decoder keeps one
+// token per WFST state, and every language-model history is a distinct
+// final hub state, so the surviving finals form a natural n-best list
+// (a lattice-lite: UNFOLD's word-lattice storage plays the same role).
+func (r *Result) NBest(k int) []Hypothesis {
+	if k <= 0 || len(r.Finals) == 0 {
+		return nil
+	}
+	out := append([]Hypothesis(nil), r.Finals...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	// drop duplicate word sequences, keeping the cheapest
+	seen := map[string]bool{}
+	dedup := out[:0]
+	for _, h := range out {
+		key := wordsKey(h.Words)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, h)
+		if len(dedup) == k {
+			break
+		}
+	}
+	return dedup
+}
+
+// OracleWER returns the lowest WER any surviving hypothesis achieves
+// against the reference — the usual lattice quality metric. A low
+// oracle WER with a high 1-best WER means the search kept the right
+// answer but ranked it badly; a high oracle WER means the beam (or the
+// N-best bound) discarded it outright, which is exactly the failure
+// mode Figure 7 sweeps.
+func (r *Result) OracleWER(ref []int) float64 {
+	if len(r.Finals) == 0 {
+		return 100
+	}
+	best := -1.0
+	for _, h := range r.Finals {
+		w := wer.Rate(ref, h.Words)
+		if best < 0 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func wordsKey(words []int) string {
+	// words are small non-negative ints; a compact byte key suffices
+	b := make([]byte, 0, len(words)*2)
+	for _, w := range words {
+		b = append(b, byte(w), byte(w>>8))
+	}
+	return string(b)
+}

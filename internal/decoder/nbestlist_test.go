@@ -1,0 +1,92 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNBestListOrderingAndDedup(t *testing.T) {
+	r := &Result{Finals: []Hypothesis{
+		{Words: []int{1, 2}, Cost: 5},
+		{Words: []int{1, 3}, Cost: 3},
+		{Words: []int{1, 2}, Cost: 4}, // duplicate sequence, cheaper
+		{Words: []int{2}, Cost: 7},
+	}}
+	nb := r.NBest(10)
+	if len(nb) != 3 {
+		t.Fatalf("NBest kept %d, want 3 distinct", len(nb))
+	}
+	if nb[0].Cost != 3 || nb[1].Cost != 4 || nb[2].Cost != 7 {
+		t.Fatalf("NBest order wrong: %+v", nb)
+	}
+	if got := r.NBest(1); len(got) != 1 || got[0].Cost != 3 {
+		t.Fatalf("NBest(1) = %+v", got)
+	}
+	if r.NBest(0) != nil {
+		t.Fatalf("NBest(0) should be nil")
+	}
+	var empty Result
+	if empty.NBest(5) != nil {
+		t.Fatalf("empty result should have no n-best")
+	}
+}
+
+func TestOracleWER(t *testing.T) {
+	r := &Result{Finals: []Hypothesis{
+		{Words: []int{1, 2, 3}, Cost: 10},
+		{Words: []int{1, 9, 3}, Cost: 5}, // cheaper but wrong
+	}}
+	// 1-best would be the wrong one; the oracle finds the exact match
+	if got := r.OracleWER([]int{1, 2, 3}); got != 0 {
+		t.Fatalf("oracle WER = %v, want 0", got)
+	}
+	if got := r.OracleWER([]int{7, 7, 7}); got != 100 {
+		t.Fatalf("all-wrong oracle = %v", got)
+	}
+	var empty Result
+	if empty.OracleWER([]int{1}) != 100 {
+		t.Fatalf("empty lattice oracle should be 100")
+	}
+}
+
+func TestDecodeProducesFinals(t *testing.T) {
+	f := toyGraph()
+	d := New(f)
+	scores := scoresFor([]int{0, 0, 1, 1}, 4, 3) // mildly flat: both words survive
+	r := d.Decode(scores, Config{Beam: 50, AcousticScale: 1})
+	if !r.OK || len(r.Finals) == 0 {
+		t.Fatalf("no finals collected")
+	}
+	nb := r.NBest(10)
+	// the 1-best of the n-best list must match the primary result
+	if len(nb) == 0 || math.Abs(nb[0].Cost-r.Cost) > 1e-12 {
+		t.Fatalf("n-best head %v disagrees with result cost %v", nb, r.Cost)
+	}
+	if r.OracleWER([]int{0}) != 0 {
+		t.Fatalf("correct word missing from lattice")
+	}
+}
+
+func TestMaxActiveCapsWork(t *testing.T) {
+	f := toyGraph()
+	d := New(f)
+	scores := scoresFor([]int{0, 0, 1, 1}, 4, 1.0) // flat: everything survives beam
+	free := d.Decode(scores, Config{Beam: 50, AcousticScale: 1, RecordPerFrame: true})
+	capped := d.Decode(scores, Config{Beam: 50, AcousticScale: 1, MaxActive: 2, RecordPerFrame: true})
+	if capped.Stats.Hypotheses >= free.Stats.Hypotheses {
+		t.Fatalf("MaxActive did not reduce work: %d vs %d",
+			capped.Stats.Hypotheses, free.Stats.Hypotheses)
+	}
+	for i, fa := range capped.Frames {
+		// ties at the threshold can keep a couple extra, but the cap
+		// must bind within a small factor
+		if fa.Active > 4 {
+			t.Fatalf("frame %d expanded %d tokens despite MaxActive=2", i, fa.Active)
+		}
+	}
+	// with informative scores the cap must not change the answer
+	sharp := d.Decode(scoresFor([]int{0, 0, 1, 1}, 4, 3), Config{Beam: 50, AcousticScale: 1, MaxActive: 2})
+	if !sharp.OK || sharp.Words[0] != 0 {
+		t.Fatalf("max-active decode lost the answer: %v", sharp.Words)
+	}
+}

@@ -1,0 +1,22 @@
+package decoder
+
+import "repro/internal/core"
+
+// UnboundedStore returns a factory for UNFOLD's direct-mapped table
+// with backup and overflow buffers (the baseline configuration).
+// Zeros select the published geometry (32K direct, 16K backup).
+func UnboundedStore(direct, backup, dramPenalty int) StoreFactory {
+	return func() core.Store[*Token] { return core.NewUnbounded[*Token](direct, backup, dramPenalty) }
+}
+
+// SetAssocStore returns a factory for the paper's K-way set-associative
+// N-best table; N = sets*ways (the paper uses 128x8 = 1024).
+func SetAssocStore(sets, ways int) StoreFactory {
+	return func() core.Store[*Token] { return core.NewSetAssoc[*Token](sets, ways) }
+}
+
+// AccurateStore returns a factory for the oracle that keeps exactly
+// the N cheapest hypotheses per frame.
+func AccurateStore(n int) StoreFactory {
+	return func() core.Store[*Token] { return core.NewAccurateNBest[*Token](n) }
+}

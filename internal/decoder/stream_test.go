@@ -1,0 +1,106 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/speech"
+	"repro/internal/wfst"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 5
+	cfg.Vocab = 6
+	cfg.FeatDim = 4
+	world, _ := speech.NewWorld(cfg)
+	graph := wfst.Compile(world)
+	d := New(graph)
+	rng := mat.NewRNG(21)
+
+	for trial := 0; trial < 3; trial++ {
+		u := world.Synthesize(3, rng.Fork())
+		scores := make([][]float64, len(u.Frames))
+		for i := range scores {
+			raw := make([]float64, world.NumSenones())
+			rng.FillNorm(raw, 0, 2)
+			mat.LogSoftmax(raw, raw)
+			scores[i] = raw
+		}
+		for _, dcfg := range []Config{
+			{Beam: 15, AcousticScale: 1},
+			{Beam: 0, AcousticScale: 1},
+			{Beam: 15, AcousticScale: 1, NewStore: SetAssocStore(8, 4)},
+		} {
+			batch := d.Decode(scores, dcfg)
+			st := d.NewStream(dcfg)
+			for _, f := range scores {
+				if err := st.Push(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			streamed := st.Finish()
+			if batch.OK != streamed.OK {
+				t.Fatalf("OK mismatch: %v vs %v", batch.OK, streamed.OK)
+			}
+			if math.Abs(batch.Cost-streamed.Cost) > 1e-9 {
+				t.Fatalf("cost mismatch: %v vs %v", batch.Cost, streamed.Cost)
+			}
+			if len(batch.Words) != len(streamed.Words) {
+				t.Fatalf("words mismatch: %v vs %v", batch.Words, streamed.Words)
+			}
+			for i := range batch.Words {
+				if batch.Words[i] != streamed.Words[i] {
+					t.Fatalf("words mismatch: %v vs %v", batch.Words, streamed.Words)
+				}
+			}
+			if batch.Stats.Hypotheses != streamed.Stats.Hypotheses {
+				t.Fatalf("stats diverge: %d vs %d hypotheses",
+					batch.Stats.Hypotheses, streamed.Stats.Hypotheses)
+			}
+		}
+	}
+}
+
+func TestStreamPartial(t *testing.T) {
+	f := toyGraph()
+	d := New(f)
+	st := d.NewStream(DefaultConfig())
+	scores := scoresFor([]int{0, 0, 1, 1}, 4, 8)
+	for i, frame := range scores {
+		if err := st.Push(frame); err != nil {
+			t.Fatal(err)
+		}
+		words, _ := st.Partial()
+		// word 0 is hypothesized from the first frame (olabel on entry)
+		if i >= 1 && (len(words) == 0 || words[0] != 0) {
+			t.Fatalf("frame %d: partial = %v", i, words)
+		}
+	}
+	res := st.Finish()
+	if !res.OK || res.Words[0] != 0 {
+		t.Fatalf("final result %v", res.Words)
+	}
+	// Partial must not have perturbed the final outcome vs batch
+	batch := d.Decode(scores, DefaultConfig())
+	if math.Abs(batch.Cost-res.Cost) > 1e-9 {
+		t.Fatalf("Partial() perturbed the stream: %v vs %v", batch.Cost, res.Cost)
+	}
+}
+
+func TestStreamPushAfterFinish(t *testing.T) {
+	f := toyGraph()
+	d := New(f)
+	st := d.NewStream(DefaultConfig())
+	st.Finish()
+	if err := st.Push(make([]float64, 4)); err == nil {
+		t.Fatalf("Push after Finish should fail")
+	}
+	// double Finish is idempotent
+	r1 := st.Finish()
+	r2 := st.Finish()
+	if r1.OK != r2.OK {
+		t.Fatalf("Finish not idempotent")
+	}
+}

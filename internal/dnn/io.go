@@ -1,0 +1,112 @@
+package dnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/mat"
+)
+
+// serializable mirror types: gob cannot encode interfaces without
+// registration gymnastics, so the on-disk format is explicit.
+
+type savedLayer struct {
+	Kind      string // "fc", "pnorm", "renorm"
+	Name      string
+	In, Out   int
+	Group     int
+	Weights   []float64
+	Biases    []float64
+	Mask      []bool
+	Trainable bool
+}
+
+type savedNetwork struct {
+	Format int
+	Layers []savedLayer
+}
+
+const formatVersion = 1
+
+// Save writes the network to w in a self-contained binary format.
+func (n *Network) Save(w io.Writer) error {
+	sn := savedNetwork{Format: formatVersion}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *FC:
+			sn.Layers = append(sn.Layers, savedLayer{
+				Kind: "fc", Name: v.LayerName, In: v.InDim(), Out: v.OutDim(),
+				Weights: v.W.Data, Biases: v.B, Mask: v.Mask, Trainable: v.Trainable,
+			})
+		case *PNorm:
+			sn.Layers = append(sn.Layers, savedLayer{
+				Kind: "pnorm", Name: v.LayerName, In: v.In, Out: v.Out, Group: v.Group,
+			})
+		case *Renorm:
+			sn.Layers = append(sn.Layers, savedLayer{
+				Kind: "renorm", Name: v.LayerName, In: v.Dim, Out: v.Dim,
+			})
+		default:
+			return fmt.Errorf("dnn: cannot serialize layer type %T", l)
+		}
+	}
+	return gob.NewEncoder(w).Encode(sn)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var sn savedNetwork
+	if err := gob.NewDecoder(r).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("dnn: decode: %w", err)
+	}
+	if sn.Format != formatVersion {
+		return nil, fmt.Errorf("dnn: unsupported model format %d", sn.Format)
+	}
+	var layers []Layer
+	for _, sl := range sn.Layers {
+		switch sl.Kind {
+		case "fc":
+			if len(sl.Weights) != sl.In*sl.Out || len(sl.Biases) != sl.Out {
+				return nil, fmt.Errorf("dnn: layer %q has inconsistent shapes", sl.Name)
+			}
+			fc := &FC{LayerName: sl.Name, Trainable: sl.Trainable, B: sl.Biases, Mask: sl.Mask}
+			fc.W = &mat.Matrix{Rows: sl.Out, Cols: sl.In, Data: sl.Weights}
+			layers = append(layers, fc)
+		case "pnorm":
+			layers = append(layers, NewPNorm(sl.Name, sl.In, sl.Group))
+		case "renorm":
+			layers = append(layers, NewRenorm(sl.Name, sl.In))
+		default:
+			return nil, fmt.Errorf("dnn: unknown layer kind %q", sl.Kind)
+		}
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("dnn: empty model")
+	}
+	return NewNetwork(layers...), nil
+}
+
+// SaveFile writes the network to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := n.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,153 @@
+// Package dnn implements the multi-layer perceptron used for acoustic
+// scoring in the reproduced ASR system: fully-connected layers
+// interleaved with p-norm pooling and renormalization, exactly the
+// layer algebra of the Kaldi DNN in Table I of the paper, plus
+// from-scratch SGD training and model serialization.
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Layer is one differentiable stage of the network.
+//
+// Forward writes the layer output for input in into dst.
+// Backward receives the loss gradient dOut w.r.t. the layer output and
+// the cached forward input/output, writes the gradient w.r.t. the layer
+// input into dIn, and accumulates any parameter gradients internally.
+type Layer interface {
+	Name() string
+	InDim() int
+	OutDim() int
+	Forward(dst, in []float64)
+	Backward(dIn, dOut, in, out []float64)
+}
+
+// FC is a fully-connected layer y = W·x + b with an optional pruning
+// mask. A masked weight is pinned to zero: it does not contribute to
+// Forward and its gradient is discarded, which is how the Han et al.
+// prune-then-retrain scheme keeps pruned connections dead.
+type FC struct {
+	LayerName string
+	W         *mat.Matrix // OutDim x InDim
+	B         []float64
+	Mask      []bool // nil = dense; len(W.Data) otherwise; true = kept
+	Trainable bool
+
+	dW []float64
+	dB []float64
+}
+
+// NewFC creates a trainable fully-connected layer with weights drawn
+// from N(0, initStd) and zero biases.
+func NewFC(name string, in, out int, initStd float64, rng *mat.RNG) *FC {
+	fc := &FC{
+		LayerName: name,
+		W:         mat.NewMatrix(out, in),
+		B:         make([]float64, out),
+		Trainable: true,
+	}
+	rng.FillNorm(fc.W.Data, 0, initStd)
+	return fc
+}
+
+func (f *FC) Name() string { return f.LayerName }
+func (f *FC) InDim() int   { return f.W.Cols }
+func (f *FC) OutDim() int  { return f.W.Rows }
+
+// WeightCount reports the number of weight parameters (excluding biases).
+func (f *FC) WeightCount() int { return len(f.W.Data) }
+
+// ActiveWeights reports the number of unpruned weights.
+func (f *FC) ActiveWeights() int {
+	if f.Mask == nil {
+		return len(f.W.Data)
+	}
+	n := 0
+	for _, keep := range f.Mask {
+		if keep {
+			n++
+		}
+	}
+	return n
+}
+
+// PrunedFraction reports the fraction of weights removed by the mask.
+func (f *FC) PrunedFraction() float64 {
+	if len(f.W.Data) == 0 {
+		return 0
+	}
+	return 1 - float64(f.ActiveWeights())/float64(len(f.W.Data))
+}
+
+// ApplyMask zeroes every masked weight. Call after installing or
+// mutating Mask so that W and Mask agree.
+func (f *FC) ApplyMask() {
+	if f.Mask == nil {
+		return
+	}
+	if len(f.Mask) != len(f.W.Data) {
+		panic(fmt.Sprintf("dnn: mask length %d != weight count %d", len(f.Mask), len(f.W.Data)))
+	}
+	for i, keep := range f.Mask {
+		if !keep {
+			f.W.Data[i] = 0
+		}
+	}
+}
+
+func (f *FC) Forward(dst, in []float64) {
+	f.W.MatVec(dst, in)
+	for i := range dst {
+		dst[i] += f.B[i]
+	}
+}
+
+func (f *FC) Backward(dIn, dOut, in, out []float64) {
+	if f.Trainable {
+		f.ensureGrads()
+		// dW[i][j] += dOut[i]*in[j]; dB[i] += dOut[i]
+		cols := f.W.Cols
+		for i, g := range dOut {
+			if g == 0 {
+				continue
+			}
+			row := f.dW[i*cols : (i+1)*cols]
+			mat.Axpy(g, in, row)
+			f.dB[i] += g
+		}
+	}
+	if dIn != nil {
+		f.W.MatVecT(dIn, dOut)
+	}
+}
+
+func (f *FC) ensureGrads() {
+	if f.dW == nil {
+		f.dW = make([]float64, len(f.W.Data))
+		f.dB = make([]float64, len(f.B))
+	}
+}
+
+// Step applies one SGD update with learning rate lr and optional L2
+// weight decay, respecting the pruning mask, then clears the gradients.
+func (f *FC) Step(lr, l2 float64) {
+	if !f.Trainable || f.dW == nil {
+		return
+	}
+	for i := range f.W.Data {
+		if f.Mask != nil && !f.Mask[i] {
+			f.dW[i] = 0
+			f.W.Data[i] = 0
+			continue
+		}
+		f.W.Data[i] -= lr * (f.dW[i] + l2*f.W.Data[i])
+		f.dW[i] = 0
+	}
+	for i := range f.B {
+		f.B[i] -= lr * f.dB[i]
+		f.dB[i] = 0
+	}
+}

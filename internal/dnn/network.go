@@ -1,0 +1,161 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Network is a feed-forward stack of layers ending in a linear layer
+// whose outputs are senone logits; Posteriors applies the softmax.
+type Network struct {
+	Layers []Layer
+
+	// scratch activations for single-threaded inference; one buffer per
+	// layer boundary (acts[0] is the input copy).
+	acts [][]float64
+}
+
+// NewNetwork validates that consecutive layer dimensions agree and
+// returns the assembled network.
+func NewNetwork(layers ...Layer) *Network {
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutDim() != layers[i].InDim() {
+			panic(fmt.Sprintf("dnn: layer %q out %d != layer %q in %d",
+				layers[i-1].Name(), layers[i-1].OutDim(), layers[i].Name(), layers[i].InDim()))
+		}
+	}
+	n := &Network{Layers: layers}
+	n.acts = n.newActivations()
+	return n
+}
+
+// InDim reports the input dimensionality of the network.
+func (n *Network) InDim() int { return n.Layers[0].InDim() }
+
+// OutDim reports the number of output classes (senones).
+func (n *Network) OutDim() int { return n.Layers[len(n.Layers)-1].OutDim() }
+
+func (n *Network) newActivations() [][]float64 {
+	acts := make([][]float64, len(n.Layers)+1)
+	acts[0] = make([]float64, n.Layers[0].InDim())
+	for i, l := range n.Layers {
+		acts[i+1] = make([]float64, l.OutDim())
+	}
+	return acts
+}
+
+// forwardInto runs the network over in, leaving every intermediate
+// activation in acts; returns the logits slice (aliased into acts).
+func (n *Network) forwardInto(acts [][]float64, in []float64) []float64 {
+	copy(acts[0], in)
+	for i, l := range n.Layers {
+		l.Forward(acts[i+1], acts[i])
+	}
+	return acts[len(acts)-1]
+}
+
+// Logits computes the pre-softmax outputs for one input frame.
+// The returned slice is reused by the next call; copy it to retain.
+func (n *Network) Logits(in []float64) []float64 {
+	return n.forwardInto(n.acts, in)
+}
+
+// Posteriors writes softmax class probabilities for in into dst and
+// returns the confidence, i.e. the probability of the top-1 class.
+func (n *Network) Posteriors(dst, in []float64) float64 {
+	return mat.Softmax(dst, n.Logits(in))
+}
+
+// LogPosteriors writes log-softmax outputs for in into dst. These are
+// the acoustic scores consumed by the Viterbi search.
+func (n *Network) LogPosteriors(dst, in []float64) {
+	mat.LogSoftmax(dst, n.Logits(in))
+}
+
+// Classify returns the top-1 class index and its probability.
+func (n *Network) Classify(in []float64) (class int, confidence float64) {
+	logits := n.Logits(in)
+	post := make([]float64, len(logits))
+	conf := mat.Softmax(post, logits)
+	return mat.ArgMax(post), conf
+}
+
+// FCs returns the fully-connected layers in order (the pruning surface
+// and the accelerator's unit of work).
+func (n *Network) FCs() []*FC {
+	var fcs []*FC
+	for _, l := range n.Layers {
+		if fc, ok := l.(*FC); ok {
+			fcs = append(fcs, fc)
+		}
+	}
+	return fcs
+}
+
+// TrainableWeightCount reports the total number of weights in trainable
+// FC layers, the denominator of the paper's global pruning percentage.
+func (n *Network) TrainableWeightCount() int {
+	total := 0
+	for _, fc := range n.FCs() {
+		if fc.Trainable {
+			total += fc.WeightCount()
+		}
+	}
+	return total
+}
+
+// WeightCount reports the total number of FC weights including the
+// fixed (LDA) layer, the paper's "total model size" denominator.
+func (n *Network) WeightCount() int {
+	total := 0
+	for _, fc := range n.FCs() {
+		total += fc.WeightCount()
+	}
+	return total
+}
+
+// GlobalPruning reports the fraction of trainable weights removed.
+func (n *Network) GlobalPruning() float64 {
+	total, active := 0, 0
+	for _, fc := range n.FCs() {
+		if !fc.Trainable {
+			continue
+		}
+		total += fc.WeightCount()
+		active += fc.ActiveWeights()
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(active)/float64(total)
+}
+
+// Clone returns a deep copy of the network (weights, biases, masks).
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		switch v := l.(type) {
+		case *FC:
+			c := &FC{
+				LayerName: v.LayerName,
+				W:         v.W.Clone(),
+				B:         append([]float64(nil), v.B...),
+				Trainable: v.Trainable,
+			}
+			if v.Mask != nil {
+				c.Mask = append([]bool(nil), v.Mask...)
+			}
+			layers[i] = c
+		case *PNorm:
+			cp := *v
+			layers[i] = &cp
+		case *Renorm:
+			cp := *v
+			layers[i] = &cp
+		default:
+			panic(fmt.Sprintf("dnn: cannot clone layer type %T", l))
+		}
+	}
+	return NewNetwork(layers...)
+}

@@ -1,0 +1,132 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestPNormForward(t *testing.T) {
+	p := NewPNorm("P", 4, 2)
+	in := []float64{3, 4, 0, 0}
+	out := make([]float64, 2)
+	p.Forward(out, in)
+	if math.Abs(out[0]-5) > 1e-9 {
+		t.Fatalf("pnorm group 0 = %v, want 5", out[0])
+	}
+	if out[1] > 1e-9 {
+		t.Fatalf("pnorm of zero group = %v", out[1])
+	}
+}
+
+func TestPNormPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewPNorm("P", 5, 2)
+}
+
+func TestRenormUnitRMS(t *testing.T) {
+	r := NewRenorm("N", 8)
+	rng := mat.NewRNG(1)
+	in := make([]float64, 8)
+	rng.FillNorm(in, 0, 3)
+	out := make([]float64, 8)
+	r.Forward(out, in)
+	rms := mat.Norm2(out) / math.Sqrt(8)
+	if math.Abs(rms-1) > 1e-9 {
+		t.Fatalf("renorm RMS = %v, want 1", rms)
+	}
+}
+
+// gradient checks for the two non-trivial layers in isolation
+func layerGradCheck(t *testing.T, l Layer, seed int64) {
+	t.Helper()
+	rng := mat.NewRNG(seed)
+	in := make([]float64, l.InDim())
+	rng.FillNorm(in, 0, 1)
+	dOut := make([]float64, l.OutDim())
+	rng.FillNorm(dOut, 0, 1)
+
+	out := make([]float64, l.OutDim())
+	l.Forward(out, in)
+	dIn := make([]float64, l.InDim())
+	l.Backward(dIn, dOut, in, out)
+
+	// scalar objective J = dOut · f(in); dJ/din should equal dIn
+	const eps = 1e-6
+	tmp := make([]float64, l.OutDim())
+	for i := range in {
+		orig := in[i]
+		in[i] = orig + eps
+		l.Forward(tmp, in)
+		up := mat.Dot(dOut, tmp)
+		in[i] = orig - eps
+		l.Forward(tmp, in)
+		down := mat.Dot(dOut, tmp)
+		in[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-dIn[i]) > 1e-5*(1+math.Abs(numeric)) {
+			t.Fatalf("%s input %d: analytic %v vs numeric %v", l.Name(), i, dIn[i], numeric)
+		}
+	}
+}
+
+func TestPNormGradient(t *testing.T) {
+	layerGradCheck(t, NewPNorm("P", 6, 3), 2)
+}
+
+func TestRenormGradient(t *testing.T) {
+	layerGradCheck(t, NewRenorm("N", 7), 3)
+}
+
+func TestFCGradientWrtInput(t *testing.T) {
+	fc := NewFC("FC", 5, 4, 0.5, mat.NewRNG(4))
+	layerGradCheck(t, fc, 5)
+}
+
+func TestFCPrunedFraction(t *testing.T) {
+	fc := NewFC("FC", 4, 2, 0.5, mat.NewRNG(6))
+	if fc.PrunedFraction() != 0 {
+		t.Fatalf("dense layer should report 0")
+	}
+	fc.Mask = []bool{true, false, true, false, true, false, true, false}
+	fc.ApplyMask()
+	if fc.PrunedFraction() != 0.5 {
+		t.Fatalf("PrunedFraction = %v", fc.PrunedFraction())
+	}
+	if fc.ActiveWeights() != 4 {
+		t.Fatalf("ActiveWeights = %d", fc.ActiveWeights())
+	}
+	for i, keep := range fc.Mask {
+		if !keep && fc.W.Data[i] != 0 {
+			t.Fatalf("ApplyMask left weight %d alive", i)
+		}
+	}
+}
+
+func TestFCApplyMaskPanicsOnBadLength(t *testing.T) {
+	fc := NewFC("FC", 4, 2, 0.5, mat.NewRNG(7))
+	fc.Mask = []bool{true}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fc.ApplyMask()
+}
+
+func TestNetworkDimensionMismatchPanics(t *testing.T) {
+	rng := mat.NewRNG(8)
+	a := NewFC("A", 4, 6, 0.5, rng)
+	b := NewFC("B", 5, 3, 0.5, rng) // expects 5, gets 6
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewNetwork(a, b)
+}

@@ -1,0 +1,84 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Topology describes the Kaldi-style MLP of Table I in a scale-free
+// way. The paper's instance is FeatDim=40, Context=4, Hidden=2000,
+// PoolGroup=5, HiddenBlocks=4, Senones=3482; tests use scaled-down
+// instances with the same structure.
+type Topology struct {
+	FeatDim      int // per-frame acoustic features
+	Context      int // frames of context on each side (input = FeatDim*(2*Context+1))
+	Hidden       int // FC hidden width before pooling
+	PoolGroup    int // p-norm group size (Hidden/PoolGroup survives pooling)
+	HiddenBlocks int // number of FC+P+N blocks
+	Senones      int // output classes
+}
+
+// Validate reports whether the topology is internally consistent.
+func (t Topology) Validate() error {
+	switch {
+	case t.FeatDim <= 0 || t.Context < 0 || t.Hidden <= 0 || t.Senones <= 0:
+		return fmt.Errorf("dnn: non-positive topology field: %+v", t)
+	case t.PoolGroup <= 0 || t.Hidden%t.PoolGroup != 0:
+		return fmt.Errorf("dnn: hidden %d not divisible by pool group %d", t.Hidden, t.PoolGroup)
+	case t.HiddenBlocks < 1:
+		return fmt.Errorf("dnn: need at least one hidden block")
+	}
+	return nil
+}
+
+// InputDim reports the spliced input dimensionality.
+func (t Topology) InputDim() int { return t.FeatDim * (2*t.Context + 1) }
+
+// PooledDim reports the width after p-norm pooling.
+func (t Topology) PooledDim() int { return t.Hidden / t.PoolGroup }
+
+// PaperTopology is the exact Table I instance (4.5M+ weights). It is
+// exported for documentation and the Table I regenerator; experiments
+// train scaled-down instances.
+func PaperTopology() Topology {
+	return Topology{FeatDim: 40, Context: 4, Hidden: 2000, PoolGroup: 5, HiddenBlocks: 4, Senones: 3482}
+}
+
+// Build constructs the network:
+//
+//	FC0 (fixed, LDA-like, input→input)
+//	[FC_i (→Hidden), PNorm (→Hidden/Group), Renorm] × HiddenBlocks
+//	FC_out (→Senones)
+//
+// FC0 is not trainable and never pruned, matching the paper's handling
+// of Kaldi's LDA layer.
+func (t Topology) Build(rng *mat.RNG) *Network {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	in := t.InputDim()
+
+	// FC0: fixed decorrelating projection standing in for LDA. A random
+	// matrix with ~unit row norms decorrelates and rescales the spliced
+	// input the same way LDA does for Kaldi; it is frozen exactly like
+	// the paper's FC0.
+	fc0 := NewFC("FC0", in, in, 1/math.Sqrt(float64(in)), rng)
+	fc0.Trainable = false
+
+	layers := []Layer{fc0}
+	prev := in
+	for b := 1; b <= t.HiddenBlocks; b++ {
+		std := math.Sqrt(2 / float64(prev))
+		layers = append(layers,
+			NewFC(fmt.Sprintf("FC%d", b), prev, t.Hidden, std, rng),
+			NewPNorm(fmt.Sprintf("P%d", b), t.Hidden, t.PoolGroup),
+			NewRenorm(fmt.Sprintf("N%d", b), t.PooledDim()),
+		)
+		prev = t.PooledDim()
+	}
+	stdOut := math.Sqrt(2 / float64(prev))
+	layers = append(layers, NewFC(fmt.Sprintf("FC%d", t.HiddenBlocks+1), prev, t.Senones, stdOut, rng))
+	return NewNetwork(layers...)
+}

@@ -1,0 +1,69 @@
+// Package energy centralizes the timing/energy constants of the two
+// accelerator models and provides the accounting helpers that combine
+// activity counts with those constants.
+//
+// The paper obtained its numbers from Synopsys Design Compiler
+// (28/32 nm, 0.78 V), CACTI-P and Micron's LPDDR4 power model. None of
+// those tools exist in this environment, so the constants below are
+// modelled values with the same relative magnitudes those tools
+// report for structures of the published sizes. Absolute joules are
+// therefore indicative; every figure reproduced from them is a ratio.
+package energy
+
+// PerAccess energies in picojoules and related constants for the
+// Viterbi accelerator memory system (CACTI-class values for the
+// Table III structure sizes at 28/32 nm).
+const (
+	// On-chip memories (pJ per access of one record/line).
+	StateCachePJ   = 150.0   // 256 KB, 4-way
+	ArcCachePJ     = 240.0   // 768 KB, 8-way
+	LatticeCachePJ = 110.0   // 128 KB, 2-way
+	AcousticBufPJ  = 45.0    // 64 KB buffer
+	HashTablePJ    = 60.0    // 100 KB hash (UNFOLD) / smaller N-best table
+	NBestTablePJ   = 25.0    // 1024-entry 8-way table (2x smaller area)
+	FPAddPJ        = 2.0     // 32-bit FP add
+	FPCmpPJ        = 1.0     // 32-bit FP compare
+	DRAMLinePJ     = 20000.0 // one 64 B line from LPDDR4 (~40 pJ/bit)
+	DRAMWordPJ     = 2500.0  // one 32-bit word (command overhead dominated)
+
+	// DNN accelerator per-operation energies.
+	MACPJ       = 4.0 // FP32 multiply + add tree share
+	WeightBufPJ = 1.2 // eDRAM read per 32-bit word
+	IOBufPJ     = 0.6 // SRAM I/O buffer read/write per word
+	IndexPJ     = 0.4 // index fetch per pruned weight
+
+	// Static power in watts. The DNN accelerator's eDRAM dominates its
+	// leakage; unused banks are power-gated for pruned models, which
+	// the simulator accounts for via the powered-fraction argument.
+	ViterbiStaticW  = 0.25
+	DNNStaticW      = 0.90
+	DNNStaticEDRAMW = 0.55 // portion of DNNStaticW that scales with powered banks
+)
+
+// Joules converts picojoules to joules.
+func Joules(pj float64) float64 { return pj * 1e-12 }
+
+// Account accumulates dynamic and static energy.
+type Account struct {
+	DynamicPJ float64
+	StaticJ   float64
+}
+
+// AddDynamic records n events of pjEach picojoules.
+func (a *Account) AddDynamic(n int64, pjEach float64) {
+	a.DynamicPJ += float64(n) * pjEach
+}
+
+// AddStatic records leakage for the given duration at watts.
+func (a *Account) AddStatic(seconds, watts float64) {
+	a.StaticJ += seconds * watts
+}
+
+// TotalJ reports total energy in joules.
+func (a *Account) TotalJ() float64 { return Joules(a.DynamicPJ) + a.StaticJ }
+
+// Add merges another account into this one.
+func (a *Account) Add(o Account) {
+	a.DynamicPJ += o.DynamicPJ
+	a.StaticJ += o.StaticJ
+}

@@ -1,0 +1,45 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccountArithmetic(t *testing.T) {
+	var a Account
+	a.AddDynamic(1000, 2.5) // 2500 pJ
+	a.AddStatic(2, 0.5)     // 1 J
+	if a.DynamicPJ != 2500 {
+		t.Fatalf("DynamicPJ = %v", a.DynamicPJ)
+	}
+	want := 1 + 2500e-12
+	if math.Abs(a.TotalJ()-want) > 1e-18 {
+		t.Fatalf("TotalJ = %v, want %v", a.TotalJ(), want)
+	}
+	var b Account
+	b.Add(a)
+	b.Add(a)
+	if b.DynamicPJ != 5000 || b.StaticJ != 2 {
+		t.Fatalf("Add broken: %+v", b)
+	}
+}
+
+func TestJoules(t *testing.T) {
+	if Joules(1e12) != 1 {
+		t.Fatalf("1e12 pJ should be 1 J")
+	}
+}
+
+func TestConstantsSane(t *testing.T) {
+	// relative magnitudes the models rely on: DRAM >> SRAM >> FP ops,
+	// and the N-best table cheaper than UNFOLD's larger hash.
+	if DRAMLinePJ <= ArcCachePJ || ArcCachePJ <= FPAddPJ {
+		t.Fatalf("energy hierarchy inverted")
+	}
+	if NBestTablePJ >= HashTablePJ {
+		t.Fatalf("N-best table should be cheaper than UNFOLD's hash")
+	}
+	if DNNStaticEDRAMW >= DNNStaticW {
+		t.Fatalf("eDRAM share must be a fraction of total static power")
+	}
+}

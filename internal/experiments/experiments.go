@@ -1,0 +1,122 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the reproduced system. Each generator
+// returns a Table that cmd/darkside renders as text and bench_test.go
+// asserts invariants on; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/asr"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (header row first) for downstream
+// plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// systemCache shares one trained System per scale across generators
+// (training is the expensive step; every figure reuses it).
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*asr.System{}
+)
+
+// SystemFor builds (once) and returns the shared system for a scale.
+func SystemFor(scale asr.Scale) (*asr.System, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if sys, ok := cache[scale.Name]; ok {
+		return sys, nil
+	}
+	sys, err := asr.Build(scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	cache[scale.Name] = sys
+	return sys, nil
+}
+
+// helpers
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+func x2(v float64) string  { return fmt.Sprintf("%.2fx", v) }
+
+func levelName(lv int) string {
+	if lv == 0 {
+		return "Baseline"
+	}
+	return fmt.Sprintf("%d%%Pruning", lv)
+}

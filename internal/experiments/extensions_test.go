@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtensionGeneratorsRun(t *testing.T) {
+	sys := tinySys(t)
+	for _, g := range []struct {
+		id   string
+		fn   func() (*Table, error)
+		rows int
+	}{
+		{"quant", func() (*Table, error) { return QuantTable(sys) }, 4},
+		{"gmm", func() (*Table, error) { return GMMTable(sys) }, 2},
+		{"maxactive", func() (*Table, error) { return MaxActiveTable(sys) }, 3},
+		{"unfold", func() (*Table, error) { return UnfoldTable(sys) }, 2},
+	} {
+		tab, err := g.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", g.id, err)
+		}
+		if tab.ID != g.id || len(tab.Rows) != g.rows {
+			t.Fatalf("%s: id %q rows %d", g.id, tab.ID, len(tab.Rows))
+		}
+	}
+}
+
+func TestUnfoldTableMemoryAdvantage(t *testing.T) {
+	sys := tinySys(t)
+	tab, err := UnfoldTable(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerKB, err1 := strconv.ParseFloat(tab.Rows[0][3], 64)
+	lazyKB, err2 := strconv.ParseFloat(tab.Rows[1][3], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad memory cells: %v", tab.Rows)
+	}
+	if lazyKB >= eagerKB {
+		t.Fatalf("on-the-fly composition (%v KB) not smaller than precompiled (%v KB)", lazyKB, eagerKB)
+	}
+}
+
+func TestQuantTableHuffmanBeatsFixed(t *testing.T) {
+	sys := tinySys(t)
+	tab, err := QuantTable(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		fixed, err1 := strconv.ParseFloat(row[3], 64)
+		huff, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad cells %q %q", row[3], row[4])
+		}
+		if huff > fixed {
+			t.Fatalf("%s: Huffman %v KB worse than fixed %v KB", row[0], huff, fixed)
+		}
+	}
+	// pruned models must be smaller than the baseline after quantization
+	base, _ := strconv.ParseFloat(tab.Rows[0][4], 64)
+	p90, _ := strconv.ParseFloat(tab.Rows[3][4], 64)
+	if p90 >= base {
+		t.Fatalf("90%%-pruned quantized model (%v KB) not smaller than baseline (%v KB)", p90, base)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with,comma"}, {"2", "plain"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"with,comma"`) {
+		t.Fatalf("comma not quoted: %q", lines[1])
+	}
+}

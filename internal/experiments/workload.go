@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"repro/internal/asr"
+)
+
+// Fig4 reproduces Figure 4: the normalized number of hypotheses
+// explored by the Viterbi search under each pruned model, with the
+// baseline hardware (unbounded table, default beam).
+func Fig4(sys *asr.System) (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Normalized Viterbi hypotheses explored vs pruning (Baseline hardware)",
+		Header: []string{"model", "hypotheses/frame", "normalized"},
+	}
+	var base float64
+	for _, lv := range sys.Levels() {
+		res, err := sys.RunMatrix([]asr.PipelineConfig{sys.Preset(asr.MitigationNone, lv)})
+		if err != nil {
+			return nil, err
+		}
+		r := res[0]
+		if lv == 0 {
+			base = r.ExploredPerFrame
+		}
+		norm := 0.0
+		if base > 0 {
+			norm = r.ExploredPerFrame / base
+		}
+		t.Rows = append(t.Rows, []string{levelName(lv), f2(r.ExploredPerFrame), x2(norm)})
+	}
+	t.Notes = append(t.Notes, "paper: 1.5x at 70%, ~2x at 80%, >3x at 90%")
+	return t, nil
+}
+
+// Fig2 reproduces Figure 2: normalized decoding time of the baseline
+// hardware ASR system under pruning, split into DNN and Viterbi
+// shares, alongside WER.
+func Fig2(sys *asr.System) (*Table, error) {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Normalized decoding time and WER vs pruning (Baseline hardware)",
+		Header: []string{"model", "DNN time %", "Viterbi time %", "total %", "WER"},
+	}
+	var cfgs []asr.PipelineConfig
+	for _, lv := range sys.Levels() {
+		cfgs = append(cfgs, sys.Preset(asr.MitigationNone, lv))
+	}
+	results, err := sys.RunMatrix(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].TotalSeconds()
+	for i, r := range results {
+		t.Rows = append(t.Rows, []string{
+			levelName(sys.Levels()[i]),
+			f2(100 * r.DNNSeconds / base),
+			f2(100 * r.ViterbiSeconds / base),
+			f2(100 * r.TotalSeconds() / base),
+			pct(r.WER),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: Viterbi share grows with pruning; 90% pruning is 33% slower than baseline overall")
+	return t, nil
+}
+
+// TailLatency quantifies Section II-C's observation that reducing the
+// beam leaves long tail latencies which the N-best bound removes:
+// per-utterance Viterbi time quantiles for Beam-90 vs NBest-90.
+func TailLatency(sys *asr.System) (*Table, error) {
+	t := &Table{
+		ID:     "tail",
+		Title:  "Per-utterance Viterbi time tail, Beam-90 vs NBest-90",
+		Header: []string{"config", "p50 (ms)", "p90 (ms)", "max (ms)", "max/p50"},
+	}
+	for _, cfg := range []asr.PipelineConfig{
+		sys.Preset(asr.MitigationBeam, 90),
+		sys.Preset(asr.MitigationNBest, 90),
+	} {
+		res, err := sys.RunMatrix([]asr.PipelineConfig{cfg})
+		if err != nil {
+			return nil, err
+		}
+		r := res[0]
+		p50, p90, worst := r.TailSeconds(0.5), r.TailSeconds(0.9), r.TailSeconds(1)
+		ratio := 0.0
+		if p50 > 0 {
+			ratio = worst / p50
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.Name, f3(p50 * 1e3), f3(p90 * 1e3), f3(worst * 1e3), x2(ratio),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: some utterances still blow up under a reduced beam; the N-best bound caps every frame")
+	return t, nil
+}
+
+// utteranceSeconds is a helper used by benches: total speech seconds
+// in the test set assuming the standard 10 ms frame hop.
+func utteranceSeconds(sys *asr.System) float64 {
+	return float64(sys.TotalTestFrames()) * 0.010
+}

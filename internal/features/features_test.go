@@ -1,0 +1,268 @@
+package features
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := mat.NewRNG(1)
+	for _, n := range []int{2, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 12, 100} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Fatalf("n=%d accepted", n)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := mat.NewRNG(2)
+	const n = 128
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		v := rng.NormFloat64()
+		x[i] = complex(v, 0)
+		timeE += v * v
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= n
+	if math.Abs(timeE-freqE) > 1e-8*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", timeE, freqE)
+	}
+}
+
+func TestPowerSpectrumPureTone(t *testing.T) {
+	const (
+		sr      = 16000
+		fftSize = 512
+	)
+	// a tone exactly on bin 32: 16000 * 32/512 = 1000 Hz
+	frame := make([]float64, fftSize)
+	for i := range frame {
+		frame[i] = math.Sin(2 * math.Pi * 1000 * float64(i) / sr)
+	}
+	spec, err := PowerSpectrum(frame, fftSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for k := range spec {
+		if spec[k] > spec[peak] {
+			peak = k
+		}
+	}
+	if peak != 32 {
+		t.Fatalf("tone peak at bin %d, want 32", peak)
+	}
+}
+
+func TestMelRoundTrip(t *testing.T) {
+	for _, hz := range []float64{50, 300, 1000, 4000, 8000} {
+		if got := MelInv(Mel(hz)); math.Abs(got-hz) > 1e-6*hz {
+			t.Fatalf("mel round trip %v -> %v", hz, got)
+		}
+	}
+	if Mel(2000) <= Mel(1000) {
+		t.Fatalf("mel scale not monotone")
+	}
+}
+
+func TestExtractorShapes(t *testing.T) {
+	cfg := DefaultMFCCConfig()
+	e, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mat.NewRNG(3)
+	signal := make([]float64, cfg.FrameLength+5*cfg.FrameShift)
+	rng.FillNorm(signal, 0, 0.1)
+	feats, err := e.Extract(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 6 {
+		t.Fatalf("frames = %d, want 6", len(feats))
+	}
+	if len(feats[0]) != cfg.NumCeps {
+		t.Fatalf("ceps = %d", len(feats[0]))
+	}
+	if e.NumFrames(10) != 0 {
+		t.Fatalf("too-short signal should yield 0 frames")
+	}
+}
+
+func TestExtractorDistinguishesTones(t *testing.T) {
+	cfg := DefaultMFCCConfig()
+	e, _ := NewExtractor(cfg)
+	tone := func(freq float64) []float64 {
+		s := make([]float64, 4*cfg.FrameLength)
+		for i := range s {
+			s[i] = math.Sin(2 * math.Pi * freq * float64(i) / float64(cfg.SampleRate))
+		}
+		return s
+	}
+	a, _ := e.Extract(tone(300))
+	b, _ := e.Extract(tone(2500))
+	// mean MFCC vectors of distinct tones must differ substantially
+	var dist float64
+	for d := 0; d < cfg.NumCeps; d++ {
+		var ma, mb float64
+		for t2 := range a {
+			ma += a[t2][d]
+			mb += b[t2][d]
+		}
+		diff := (ma - mb) / float64(len(a))
+		dist += diff * diff
+	}
+	if math.Sqrt(dist) < 1 {
+		t.Fatalf("tone MFCCs too similar: %v", math.Sqrt(dist))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []func(*MFCCConfig){
+		func(c *MFCCConfig) { c.SampleRate = 0 },
+		func(c *MFCCConfig) { c.FFTSize = 300 }, // not power of two
+		func(c *MFCCConfig) { c.FFTSize = 256 }, // < frame length
+		func(c *MFCCConfig) { c.NumCeps = 100 }, // > bands
+		func(c *MFCCConfig) { c.MelBands = 1 },
+	}
+	for i, mutate := range bads {
+		cfg := DefaultMFCCConfig()
+		mutate(&cfg)
+		if _, err := NewExtractor(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	// constant features have zero deltas
+	feats := [][]float64{{1, 2}, {1, 2}, {1, 2}, {1, 2}}
+	out := Deltas(feats)
+	if len(out) != 4 || len(out[0]) != 4 {
+		t.Fatalf("delta shape wrong")
+	}
+	for t2, row := range out {
+		if row[2] != 0 || row[3] != 0 {
+			t.Fatalf("frame %d: nonzero delta %v for constant input", t2, row[2:])
+		}
+	}
+	// linear ramp has constant delta = slope
+	ramp := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}}
+	out = Deltas(ramp)
+	for t2 := 2; t2 < 4; t2++ { // interior frames
+		if math.Abs(out[t2][1]-1) > 1e-12 {
+			t.Fatalf("ramp delta = %v, want 1", out[t2][1])
+		}
+	}
+	if Deltas(nil) != nil {
+		t.Fatalf("empty input should give nil")
+	}
+}
+
+func TestCMVN(t *testing.T) {
+	rng := mat.NewRNG(4)
+	feats := make([][]float64, 50)
+	for i := range feats {
+		feats[i] = []float64{5 + 2*rng.NormFloat64(), -3 + 0.5*rng.NormFloat64()}
+	}
+	CMVN(feats)
+	for d := 0; d < 2; d++ {
+		var mean, variance float64
+		for _, f := range feats {
+			mean += f[d]
+		}
+		mean /= float64(len(feats))
+		for _, f := range feats {
+			variance += (f[d] - mean) * (f[d] - mean)
+		}
+		variance /= float64(len(feats))
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("dim %d mean %v after CMVN", d, mean)
+		}
+		if math.Abs(variance-1) > 0.01 {
+			t.Fatalf("dim %d variance %v after CMVN", d, variance)
+		}
+	}
+}
+
+func TestVoiceRenderAndClassify(t *testing.T) {
+	// end-to-end front-end check: render audio for two units and
+	// verify their MFCCs are separable by a nearest-mean classifier
+	cfg := DefaultMFCCConfig()
+	e, _ := NewExtractor(cfg)
+	rng := mat.NewRNG(5)
+	v := NewVoice(2, cfg.SampleRate, rng)
+	if v.NumUnits() != 2 {
+		t.Fatalf("NumUnits = %d", v.NumUnits())
+	}
+	meanVec := func(unit int, seed int64) []float64 {
+		audio := v.Render([]int{unit, unit, unit}, 4*cfg.FrameLength, 0.01, mat.NewRNG(seed))
+		feats, err := e.Extract(audio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make([]float64, cfg.NumCeps)
+		for _, f := range feats {
+			mat.Axpy(1, f, m)
+		}
+		mat.Scale(1/float64(len(feats)), m)
+		return m
+	}
+	a1, a2 := meanVec(0, 10), meanVec(0, 11)
+	b1 := meanVec(1, 12)
+	dist := func(x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			s += (x[i] - y[i]) * (x[i] - y[i])
+		}
+		return math.Sqrt(s)
+	}
+	if dist(a1, a2) >= dist(a1, b1) {
+		t.Fatalf("same-unit distance %v >= cross-unit %v", dist(a1, a2), dist(a1, b1))
+	}
+}

@@ -1,0 +1,83 @@
+// Package features implements a from-scratch speech front end:
+// waveform framing, Hamming windowing, radix-2 FFT, mel filterbank and
+// DCT — the MFCC pipeline that produces the "acoustic features" the
+// paper's DNN consumes (Kaldi's 40-dim features play the same role).
+// Together with internal/features' waveform synthesizer it upgrades
+// the synthetic world from "sampled feature vectors" to "rendered
+// audio processed like real speech".
+package features
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley-Tukey transform of x.
+// len(x) must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("features: FFT length %d is not a power of two", n)
+	}
+	// bit-reversal permutation
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// PowerSpectrum returns |FFT(frame)|² for the first n/2+1 bins of the
+// real signal frame, zero-padded to fftSize.
+func PowerSpectrum(frame []float64, fftSize int) ([]float64, error) {
+	if len(frame) > fftSize {
+		return nil, fmt.Errorf("features: frame %d longer than FFT size %d", len(frame), fftSize)
+	}
+	buf := make([]complex128, fftSize)
+	for i, v := range frame {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, fftSize/2+1)
+	for i := range out {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i] = re*re + im*im
+	}
+	return out, nil
+}
+
+// HammingWindow returns the n-point Hamming window.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}

@@ -1,0 +1,219 @@
+package features
+
+import (
+	"fmt"
+	"math"
+)
+
+// MFCCConfig parameterizes the front end.
+type MFCCConfig struct {
+	SampleRate  int     // Hz
+	FrameLength int     // samples per analysis frame (e.g. 25 ms)
+	FrameShift  int     // samples between frames (e.g. 10 ms)
+	FFTSize     int     // power of two >= FrameLength
+	MelBands    int     // triangular filters
+	NumCeps     int     // cepstral coefficients kept
+	LowFreq     float64 // filterbank lower edge, Hz
+	HighFreq    float64 // filterbank upper edge, Hz (0 = Nyquist)
+}
+
+// DefaultMFCCConfig is a classic 25 ms / 10 ms, 26-band, 13-cepstra
+// front end at 16 kHz.
+func DefaultMFCCConfig() MFCCConfig {
+	return MFCCConfig{
+		SampleRate:  16000,
+		FrameLength: 400,
+		FrameShift:  160,
+		FFTSize:     512,
+		MelBands:    26,
+		NumCeps:     13,
+		LowFreq:     50,
+	}
+}
+
+// Validate checks internal consistency.
+func (c MFCCConfig) Validate() error {
+	switch {
+	case c.SampleRate <= 0 || c.FrameLength <= 0 || c.FrameShift <= 0:
+		return fmt.Errorf("features: non-positive frame parameters")
+	case c.FFTSize < c.FrameLength || c.FFTSize&(c.FFTSize-1) != 0:
+		return fmt.Errorf("features: FFT size %d invalid for frame %d", c.FFTSize, c.FrameLength)
+	case c.MelBands < 2 || c.NumCeps < 1 || c.NumCeps > c.MelBands:
+		return fmt.Errorf("features: bad mel/cepstra counts %d/%d", c.MelBands, c.NumCeps)
+	}
+	return nil
+}
+
+// Mel converts Hz to mel.
+func Mel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// MelInv converts mel to Hz.
+func MelInv(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// Extractor computes MFCCs; construct once, reuse across utterances.
+type Extractor struct {
+	cfg     MFCCConfig
+	window  []float64
+	filters [][]float64 // band -> per-bin weight (sparse in practice)
+	dct     [][]float64 // cepstrum x band
+}
+
+// NewExtractor builds the filterbank and DCT basis.
+func NewExtractor(cfg MFCCConfig) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	high := cfg.HighFreq
+	if high <= 0 {
+		high = float64(cfg.SampleRate) / 2
+	}
+	bins := cfg.FFTSize/2 + 1
+	e := &Extractor{cfg: cfg, window: HammingWindow(cfg.FrameLength)}
+
+	// triangular mel filters
+	lowMel, highMel := Mel(cfg.LowFreq), Mel(high)
+	centers := make([]float64, cfg.MelBands+2)
+	for i := range centers {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(cfg.MelBands+1)
+		centers[i] = MelInv(mel) * float64(cfg.FFTSize) / float64(cfg.SampleRate)
+	}
+	e.filters = make([][]float64, cfg.MelBands)
+	for b := 0; b < cfg.MelBands; b++ {
+		f := make([]float64, bins)
+		left, center, right := centers[b], centers[b+1], centers[b+2]
+		for k := 0; k < bins; k++ {
+			x := float64(k)
+			switch {
+			case x > left && x <= center:
+				f[k] = (x - left) / (center - left)
+			case x > center && x < right:
+				f[k] = (right - x) / (right - center)
+			}
+		}
+		e.filters[b] = f
+	}
+
+	// DCT-II basis
+	e.dct = make([][]float64, cfg.NumCeps)
+	for c := 0; c < cfg.NumCeps; c++ {
+		row := make([]float64, cfg.MelBands)
+		for b := 0; b < cfg.MelBands; b++ {
+			row[b] = math.Cos(math.Pi * float64(c) * (float64(b) + 0.5) / float64(cfg.MelBands))
+		}
+		e.dct[c] = row
+	}
+	return e, nil
+}
+
+// NumFrames reports how many frames Extract will produce for a signal.
+func (e *Extractor) NumFrames(samples int) int {
+	if samples < e.cfg.FrameLength {
+		return 0
+	}
+	return 1 + (samples-e.cfg.FrameLength)/e.cfg.FrameShift
+}
+
+// Extract computes the MFCC matrix (frames x NumCeps) of a waveform.
+func (e *Extractor) Extract(signal []float64) ([][]float64, error) {
+	n := e.NumFrames(len(signal))
+	out := make([][]float64, 0, n)
+	frame := make([]float64, e.cfg.FrameLength)
+	for i := 0; i < n; i++ {
+		start := i * e.cfg.FrameShift
+		copy(frame, signal[start:start+e.cfg.FrameLength])
+		for j := range frame {
+			frame[j] *= e.window[j]
+		}
+		spec, err := PowerSpectrum(frame, e.cfg.FFTSize)
+		if err != nil {
+			return nil, err
+		}
+		logmel := make([]float64, e.cfg.MelBands)
+		for b, filter := range e.filters {
+			var s float64
+			for k, w := range filter {
+				if w != 0 {
+					s += w * spec[k]
+				}
+			}
+			logmel[b] = math.Log(s + 1e-10)
+		}
+		ceps := make([]float64, e.cfg.NumCeps)
+		for c, row := range e.dct {
+			var s float64
+			for b, w := range row {
+				s += w * logmel[b]
+			}
+			ceps[c] = s
+		}
+		out = append(out, ceps)
+	}
+	return out, nil
+}
+
+// Deltas appends first-order time derivatives (computed over a ±2
+// frame regression window, the standard Kaldi formula) to every frame,
+// doubling the feature dimension.
+func Deltas(feats [][]float64) [][]float64 {
+	if len(feats) == 0 {
+		return nil
+	}
+	dim := len(feats[0])
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= len(feats) {
+			return len(feats) - 1
+		}
+		return i
+	}
+	out := make([][]float64, len(feats))
+	const norm = 2.0 * (1*1 + 2*2) // Σ n² over n=±1,±2
+	for t := range feats {
+		row := make([]float64, 2*dim)
+		copy(row, feats[t])
+		for d := 0; d < dim; d++ {
+			var s float64
+			for n := 1; n <= 2; n++ {
+				s += float64(n) * (feats[clamp(t+n)][d] - feats[clamp(t-n)][d])
+			}
+			row[dim+d] = s / norm
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// CMVN applies per-utterance cepstral mean and variance normalization
+// in place — the standard robustness step before splicing.
+func CMVN(feats [][]float64) {
+	if len(feats) == 0 {
+		return
+	}
+	dim := len(feats[0])
+	mean := make([]float64, dim)
+	for _, f := range feats {
+		for d, v := range f {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(len(feats))
+	}
+	variance := make([]float64, dim)
+	for _, f := range feats {
+		for d, v := range f {
+			diff := v - mean[d]
+			variance[d] += diff * diff
+		}
+	}
+	for d := range variance {
+		variance[d] = math.Sqrt(variance[d]/float64(len(feats))) + 1e-10
+	}
+	for _, f := range feats {
+		for d := range f {
+			f[d] = (f[d] - mean[d]) / variance[d]
+		}
+	}
+}

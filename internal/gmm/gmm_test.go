@@ -1,0 +1,159 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/speech"
+)
+
+// synthetic two-class data with well-separated Gaussians
+func twoClassData(n int, rng *mat.RNG) (frames [][]float64, labels []int) {
+	for i := 0; i < n; i++ {
+		label := i % 2
+		f := make([]float64, 3)
+		for d := range f {
+			center := -2.0
+			if label == 1 {
+				center = 2.0
+			}
+			f[d] = center + 0.5*rng.NormFloat64()
+		}
+		frames = append(frames, f)
+		labels = append(labels, label)
+	}
+	return frames, labels
+}
+
+func TestTrainSeparatesClasses(t *testing.T) {
+	rng := mat.NewRNG(1)
+	frames, labels := twoClassData(400, rng)
+	m, err := Train(frames, labels, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top1, conf := m.Evaluate(frames, labels)
+	if top1 < 0.99 {
+		t.Fatalf("GMM top-1 %v on separable data", top1)
+	}
+	if conf < 0.9 {
+		t.Fatalf("GMM confidence %v on separable data", conf)
+	}
+}
+
+func TestLogPosteriorsNormalized(t *testing.T) {
+	rng := mat.NewRNG(2)
+	frames, labels := twoClassData(200, rng)
+	m, _ := Train(frames, labels, 2, DefaultConfig())
+	post := make([]float64, 2)
+	for _, f := range frames[:20] {
+		m.LogPosteriors(post, f)
+		sum := 0.0
+		for _, lp := range post {
+			sum += math.Exp(lp)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posteriors sum to %v", sum)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, DefaultConfig()); err == nil {
+		t.Fatalf("empty data accepted")
+	}
+	frames := [][]float64{{1}, {2}}
+	if _, err := Train(frames, []int{0}, 2, DefaultConfig()); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, err := Train(frames, []int{0, 5}, 2, DefaultConfig()); err == nil {
+		t.Fatalf("out-of-range label accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Components = 0
+	if _, err := Train(frames, []int{0, 1}, 2, cfg); err == nil {
+		t.Fatalf("zero components accepted")
+	}
+}
+
+func TestUnseenSenoneStaysFinite(t *testing.T) {
+	frames := [][]float64{{1, 1}, {1.1, 0.9}, {0.9, 1.1}, {1, 1.2}}
+	labels := []int{0, 0, 0, 0}
+	m, err := Train(frames, labels, 3, DefaultConfig()) // senones 1,2 unseen
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := make([]float64, 3)
+	m.LogPosteriors(post, []float64{1, 1})
+	for s, lp := range post {
+		if math.IsNaN(lp) || math.IsInf(lp, 1) {
+			t.Fatalf("senone %d posterior is %v", s, lp)
+		}
+	}
+	cls, _ := m.Classify([]float64{1, 1})
+	if cls != 0 {
+		t.Fatalf("classified %d, want the only trained senone", cls)
+	}
+}
+
+func TestMoreComponentsFitMultimodal(t *testing.T) {
+	// one class whose data is bimodal: 2 components must fit it better
+	rng := mat.NewRNG(3)
+	var frames [][]float64
+	var labels []int
+	for i := 0; i < 300; i++ {
+		center := -3.0
+		if i%2 == 0 {
+			center = 3.0
+		}
+		frames = append(frames, []float64{center + 0.3*rng.NormFloat64()})
+		labels = append(labels, 0)
+	}
+	cfg1 := DefaultConfig()
+	cfg1.Components = 1
+	m1, _ := Train(frames, labels, 1, cfg1)
+	cfg2 := DefaultConfig()
+	cfg2.Components = 2
+	m2, _ := Train(frames, labels, 1, cfg2)
+	var ll1, ll2 float64
+	for _, f := range frames {
+		ll1 += m1.LogLikelihood(0, f)
+		ll2 += m2.LogLikelihood(0, f)
+	}
+	if ll2 <= ll1 {
+		t.Fatalf("2 components should fit bimodal data better: %v vs %v", ll2, ll1)
+	}
+}
+
+func TestGMMOnSyntheticWorld(t *testing.T) {
+	// the real use: senone classification in the speech world
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 6
+	cfg.Vocab = 8
+	cfg.FeatDim = 6
+	world, err := speech.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utts := world.SynthesizeSet(20, 5, 7)
+	var frames [][]float64
+	var labels []int
+	for _, u := range utts {
+		frames = append(frames, u.Frames...)
+		labels = append(labels, u.Align...)
+	}
+	m, err := Train(frames, labels, world.NumSenones(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top1, conf := m.Evaluate(frames, labels)
+	// GMMs see single frames (no splicing): weaker than the DNN but
+	// far above the 1/36 chance level
+	if top1 < 0.3 {
+		t.Fatalf("GMM top-1 %v too weak", top1)
+	}
+	if conf <= 0 || conf > 1 {
+		t.Fatalf("confidence %v out of range", conf)
+	}
+}

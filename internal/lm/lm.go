@@ -1,0 +1,121 @@
+// Package lm implements the bigram language model that stands in for
+// the paper's WFST grammar source: it both generates the synthetic
+// corpus (so the decoder's search space and the ground truth share one
+// distribution) and supplies the -log P(w|h) arc weights of the
+// decoding graph.
+package lm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Model is a bigram language model over word ids 0..V-1.
+// Probs[h][w] = P(w | h) where h in [0..V] and h==V is the start
+// history.
+type Model struct {
+	V     int
+	Probs [][]float64 // (V+1) x V, rows sum to 1
+}
+
+// Start returns the start-of-utterance history id.
+func (m *Model) Start() int { return m.V }
+
+// NewRandom builds a random bigram model. concentration < 1 yields
+// peaky conditionals (a few likely successor words per history), which
+// is what makes beam search selective; concentration >= 1 approaches
+// uniform.
+func NewRandom(vocab int, concentration float64, rng *mat.RNG) *Model {
+	if vocab < 2 {
+		panic("lm: vocabulary must have at least 2 words")
+	}
+	m := &Model{V: vocab, Probs: make([][]float64, vocab+1)}
+	for h := range m.Probs {
+		row := make([]float64, vocab)
+		var total float64
+		for w := range row {
+			// Gamma(concentration) samples via the simple
+			// Marsaglia-free route: exp draws raised to 1/conc give a
+			// heavy-tailed positive sample; adequate for a synthetic LM.
+			u := rng.Float64()
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			g := math.Pow(-math.Log(u), 1/concentration)
+			row[w] = g
+			total += g
+		}
+		for w := range row {
+			row[w] /= total
+		}
+		m.Probs[h] = row
+	}
+	return m
+}
+
+// Prob returns P(w|h).
+func (m *Model) Prob(h, w int) float64 {
+	return m.Probs[h][w]
+}
+
+// Cost returns -log P(w|h), the WFST arc weight.
+func (m *Model) Cost(h, w int) float64 {
+	p := m.Probs[h][w]
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(p)
+}
+
+// Sample draws a successor word for history h.
+func (m *Model) Sample(h int, rng *mat.RNG) int {
+	return rng.Categorical(m.Probs[h])
+}
+
+// SampleSentence draws a word sequence of the given length.
+func (m *Model) SampleSentence(length int, rng *mat.RNG) []int {
+	words := make([]int, 0, length)
+	h := m.Start()
+	for i := 0; i < length; i++ {
+		w := m.Sample(h, rng)
+		words = append(words, w)
+		h = w
+	}
+	return words
+}
+
+// SentenceCost returns the total -log probability of the word sequence.
+func (m *Model) SentenceCost(words []int) float64 {
+	var total float64
+	h := m.Start()
+	for _, w := range words {
+		total += m.Cost(h, w)
+		h = w
+	}
+	return total
+}
+
+// Validate checks that every row is a probability distribution.
+func (m *Model) Validate() error {
+	if len(m.Probs) != m.V+1 {
+		return fmt.Errorf("lm: expected %d histories, got %d", m.V+1, len(m.Probs))
+	}
+	for h, row := range m.Probs {
+		if len(row) != m.V {
+			return fmt.Errorf("lm: history %d has %d successors, want %d", h, len(row), m.V)
+		}
+		var total float64
+		for _, p := range row {
+			if p < 0 {
+				return fmt.Errorf("lm: negative probability in history %d", h)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return fmt.Errorf("lm: history %d sums to %v", h, total)
+		}
+	}
+	return nil
+}

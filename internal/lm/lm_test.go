@@ -1,0 +1,112 @@
+package lm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestNewRandomValidates(t *testing.T) {
+	m := NewRandom(10, 0.4, mat.NewRNG(1))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Start() != 10 {
+		t.Fatalf("Start = %d", m.Start())
+	}
+}
+
+func TestNewRandomPanicsOnTinyVocab(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewRandom(1, 0.5, mat.NewRNG(1))
+}
+
+func TestCostMatchesProb(t *testing.T) {
+	m := NewRandom(8, 0.5, mat.NewRNG(2))
+	for h := 0; h <= 8; h++ {
+		for w := 0; w < 8; w++ {
+			want := -math.Log(m.Prob(h, w))
+			if got := m.Cost(h, w); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("Cost(%d,%d) = %v, want %v", h, w, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleSentence(t *testing.T) {
+	m := NewRandom(12, 0.4, mat.NewRNG(3))
+	rng := mat.NewRNG(4)
+	s := m.SampleSentence(20, rng)
+	if len(s) != 20 {
+		t.Fatalf("length %d", len(s))
+	}
+	for _, w := range s {
+		if w < 0 || w >= 12 {
+			t.Fatalf("word %d out of range", w)
+		}
+	}
+	// sentence cost must be the sum of bigram costs
+	var want float64
+	h := m.Start()
+	for _, w := range s {
+		want += m.Cost(h, w)
+		h = w
+	}
+	if got := m.SentenceCost(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SentenceCost = %v, want %v", got, want)
+	}
+}
+
+func TestSamplingFollowsDistribution(t *testing.T) {
+	m := NewRandom(4, 0.8, mat.NewRNG(5))
+	rng := mat.NewRNG(6)
+	const trials = 50000
+	counts := make([]float64, 4)
+	h := m.Start()
+	for i := 0; i < trials; i++ {
+		counts[m.Sample(h, rng)]++
+	}
+	for w := 0; w < 4; w++ {
+		got := counts[w] / trials
+		if math.Abs(got-m.Prob(h, w)) > 0.02 {
+			t.Fatalf("word %d: sampled %v, prob %v", w, got, m.Prob(h, w))
+		}
+	}
+}
+
+func TestPeakinessControlsEntropy(t *testing.T) {
+	peaky := NewRandom(20, 0.2, mat.NewRNG(7))
+	flat := NewRandom(20, 5.0, mat.NewRNG(8))
+	entropy := func(m *Model) float64 {
+		var h float64
+		for _, row := range m.Probs {
+			for _, p := range row {
+				if p > 0 {
+					h -= p * math.Log(p)
+				}
+			}
+		}
+		return h
+	}
+	if entropy(peaky) >= entropy(flat) {
+		t.Fatalf("peaky LM should have lower entropy: %v vs %v", entropy(peaky), entropy(flat))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := NewRandom(5, 0.5, mat.NewRNG(9))
+	m.Probs[2][0] += 0.5
+	if m.Validate() == nil {
+		t.Fatalf("corrupted row accepted")
+	}
+	m2 := NewRandom(5, 0.5, mat.NewRNG(9))
+	m2.Probs = m2.Probs[:3]
+	if m2.Validate() == nil {
+		t.Fatalf("truncated model accepted")
+	}
+}

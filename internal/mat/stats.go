@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for empty x.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// AbsStdDev returns the population standard deviation of |x_i|,
+// matching the statistic Han et al. threshold against (they compute the
+// spread of weight magnitudes within a layer).
+func AbsStdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	abs := make([]float64, len(x))
+	for i, v := range x {
+		abs[i] = math.Abs(v)
+	}
+	return StdDev(abs)
+}
+
+// Percentile returns the p-th percentile (0..100) of x using linear
+// interpolation between closest ranks. x is not modified.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram bins x into n equal-width buckets over [min, max] and
+// returns the bucket counts. Values outside the range clamp to the
+// first/last bucket.
+func Histogram(x []float64, n int, min, max float64) []int {
+	counts := make([]int, n)
+	if n == 0 || len(x) == 0 || max <= min {
+		return counts
+	}
+	w := (max - min) / float64(n)
+	for _, v := range x {
+		b := int((v - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

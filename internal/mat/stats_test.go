@@ -1,0 +1,134 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(x) != 5 {
+		t.Fatalf("Mean = %v", Mean(x))
+	}
+	if !almostEqual(StdDev(x), 2, 1e-12) {
+		t.Fatalf("StdDev = %v", StdDev(x))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatalf("empty input should give 0")
+	}
+}
+
+func TestAbsStdDev(t *testing.T) {
+	// symmetric values: StdDev sees spread, AbsStdDev sees none
+	x := []float64{-1, 1, -1, 1}
+	if StdDev(x) != 1 {
+		t.Fatalf("StdDev = %v", StdDev(x))
+	}
+	if AbsStdDev(x) != 0 {
+		t.Fatalf("AbsStdDev = %v, want 0", AbsStdDev(x))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(x, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatalf("empty percentile should be 0")
+	}
+	// does not mutate input
+	y := []float64{3, 1, 2}
+	Percentile(y, 50)
+	if y[0] != 3 || y[1] != 1 || y[2] != 2 {
+		t.Fatalf("input mutated: %v", y)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	x := []float64{0.1, 0.9, 1.5, 2.5, -1, 10}
+	h := Histogram(x, 3, 0, 3)
+	// buckets: [0,1) [1,2) [2,3); -1 clamps to first, 10 to last
+	if h[0] != 3 || h[1] != 1 || h[2] != 2 {
+		t.Fatalf("Histogram = %v", h)
+	}
+	if got := Histogram(x, 0, 0, 3); len(got) != 0 {
+		t.Fatalf("zero buckets should be empty")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if NewRNG(1).Float64() == NewRNG(2).Float64() {
+		t.Fatalf("different seeds should differ (almost surely)")
+	}
+}
+
+func TestRNGGeometric(t *testing.T) {
+	rng := NewRNG(9)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		d := rng.Geometric(0.5)
+		if d < 1 {
+			t.Fatalf("Geometric returned %d < 1", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2) > 0.1 { // E[geom(0.5)] = 1/(1-0.5) = 2
+		t.Fatalf("Geometric mean = %v, want ~2", mean)
+	}
+}
+
+func TestRNGCategorical(t *testing.T) {
+	rng := NewRNG(10)
+	w := []float64{0, 1, 0}
+	for i := 0; i < 50; i++ {
+		if rng.Categorical(w) != 1 {
+			t.Fatalf("Categorical should always pick index 1")
+		}
+	}
+	counts := make([]int, 2)
+	w = []float64{1, 3}
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[rng.Categorical(w)]++
+	}
+	frac := float64(counts[1]) / float64(n)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("Categorical fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestRNGCategoricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for zero weights")
+		}
+	}()
+	NewRNG(1).Categorical([]float64{0, 0})
+}
+
+func TestRNGFork(t *testing.T) {
+	a := NewRNG(5)
+	f1 := a.Fork()
+	// forked stream must be deterministic given the parent state
+	b := NewRNG(5)
+	f2 := b.Fork()
+	for i := 0; i < 10; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatalf("forks from identical parents diverged")
+		}
+	}
+}

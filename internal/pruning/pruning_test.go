@@ -1,0 +1,154 @@
+package pruning
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/mat"
+)
+
+func buildNet(seed int64) *dnn.Network {
+	topo := dnn.Topology{FeatDim: 6, Context: 1, Hidden: 24, PoolGroup: 4, HiddenBlocks: 2, Senones: 9}
+	return topo.Build(mat.NewRNG(seed))
+}
+
+func TestPruneThresholdRule(t *testing.T) {
+	net := buildNet(1)
+	const quality = 1.0
+	rep := Prune(net, quality)
+	for _, fc := range net.FCs() {
+		if !fc.Trainable {
+			continue
+		}
+		// find this layer's reported threshold
+		var threshold float64
+		for _, lr := range rep.Layers {
+			if lr.Name == fc.LayerName {
+				threshold = lr.Threshold
+			}
+		}
+		if threshold <= 0 {
+			t.Fatalf("layer %s has no threshold", fc.LayerName)
+		}
+		for i, keep := range fc.Mask {
+			w := fc.W.Data[i]
+			if keep && math.Abs(w) < threshold && w != 0 {
+				t.Fatalf("layer %s kept weight %v below threshold %v", fc.LayerName, w, threshold)
+			}
+			if !keep && w != 0 {
+				t.Fatalf("layer %s: pruned weight not zeroed", fc.LayerName)
+			}
+		}
+	}
+}
+
+func TestPruneSkipsFrozenLayer(t *testing.T) {
+	net := buildNet(2)
+	Prune(net, 10) // absurd quality: would kill everything trainable
+	fc0 := net.FCs()[0]
+	if fc0.Mask != nil {
+		t.Fatalf("FC0 (LDA) must never be masked")
+	}
+	if fc0.ActiveWeights() != fc0.WeightCount() {
+		t.Fatalf("FC0 lost weights")
+	}
+}
+
+func TestCalibrateQualityHitsTarget(t *testing.T) {
+	for _, target := range []float64{0.5, 0.7, 0.8, 0.9} {
+		net := buildNet(3)
+		q, err := CalibrateQuality(net, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Prune(net, q)
+		if math.Abs(rep.GlobalPruning-target) > 0.02 {
+			t.Fatalf("target %v: got %v (quality %v)", target, rep.GlobalPruning, q)
+		}
+	}
+}
+
+func TestCalibrateQualityRejectsBadTargets(t *testing.T) {
+	net := buildNet(4)
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := CalibrateQuality(net, bad); err == nil {
+			t.Fatalf("target %v accepted", bad)
+		}
+	}
+}
+
+func TestQualityMonotonicity(t *testing.T) {
+	// higher quality parameter must prune at least as much
+	net := buildNet(5)
+	prev := -1.0
+	for _, q := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		c := net.Clone()
+		rep := Prune(c, q)
+		if rep.GlobalPruning < prev {
+			t.Fatalf("pruning not monotone in quality: %v after %v", rep.GlobalPruning, prev)
+		}
+		prev = rep.GlobalPruning
+	}
+}
+
+func TestPruneAndRetrainPreservesBaseline(t *testing.T) {
+	baseline := buildNet(6)
+	before := append([]float64(nil), baseline.FCs()[1].W.Data...)
+
+	rng := mat.NewRNG(7)
+	var samples []dnn.Sample
+	for i := 0; i < 40; i++ {
+		in := make([]float64, baseline.InDim())
+		rng.FillNorm(in, 0, 1)
+		samples = append(samples, dnn.Sample{Input: in, Label: rng.Intn(baseline.OutDim())})
+	}
+	res, err := PruneAndRetrain(baseline, samples, Config{
+		Target:  0.8,
+		Retrain: dnn.TrainConfig{Epochs: 2, BatchSize: 8, LearningRate: 0.02, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the original must be untouched
+	after := baseline.FCs()[1].W.Data
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("baseline mutated at %d", i)
+		}
+	}
+	// the pruned model must honor its mask after retraining
+	if p := res.Net.GlobalPruning(); math.Abs(p-0.8) > 0.02 {
+		t.Fatalf("pruned model at %v, want 0.8", p)
+	}
+	for _, fc := range res.Net.FCs() {
+		if fc.Mask == nil {
+			continue
+		}
+		for i, keep := range fc.Mask {
+			if !keep && fc.W.Data[i] != 0 {
+				t.Fatalf("retraining resurrected a pruned weight")
+			}
+		}
+	}
+}
+
+func TestReportLayerAccounting(t *testing.T) {
+	net := buildNet(8)
+	rep := Prune(net, 1.2)
+	totalTrainable, totalPruned := 0, 0
+	for _, lr := range rep.Layers {
+		if lr.Threshold == 0 {
+			continue // frozen layer
+		}
+		totalTrainable += lr.Weights
+		totalPruned += lr.Pruned
+		if lr.Fraction < 0 || lr.Fraction > 1 {
+			t.Fatalf("layer fraction %v out of range", lr.Fraction)
+		}
+	}
+	want := float64(totalPruned) / float64(totalTrainable)
+	if math.Abs(rep.GlobalPruning-want) > 1e-12 {
+		t.Fatalf("global %v != recomputed %v", rep.GlobalPruning, want)
+	}
+}

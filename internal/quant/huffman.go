@@ -1,0 +1,46 @@
+package quant
+
+import "container/heap"
+
+// HuffmanBits returns the total encoded size, in bits, of a symbol
+// stream with the given per-symbol counts under an optimal Huffman
+// code — the storage the third Deep Compression stage achieves for
+// the quantized weight indices.
+func HuffmanBits(counts []int64) int64 {
+	var freqs []int64
+	for _, c := range counts {
+		if c > 0 {
+			freqs = append(freqs, c)
+		}
+	}
+	switch len(freqs) {
+	case 0:
+		return 0
+	case 1:
+		return freqs[0] // a single symbol still needs one bit per use
+	}
+	h := int64Heap(freqs)
+	heap.Init(&h)
+	var total int64
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(int64)
+		b := heap.Pop(&h).(int64)
+		total += a + b // each merge adds one bit to every leaf below it
+		heap.Push(&h, a+b)
+	}
+	return total
+}
+
+type int64Heap []int64
+
+func (h int64Heap) Len() int           { return len(h) }
+func (h int64Heap) Less(i, j int) bool { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

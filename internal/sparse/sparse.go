@@ -1,0 +1,108 @@
+// Package sparse provides the compressed representation of a pruned
+// fully-connected layer as the DNN accelerator sees it: per-neuron runs
+// of (weight, input-index) pairs, the format whose index-driven input
+// gather causes the I/O-buffer bank conflicts analyzed in Section III-D
+// of the paper.
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Layer is a CSR-like sparse view of an out×in weight matrix.
+// Row r's nonzeros are Weights[RowPtr[r]:RowPtr[r+1]] with column
+// indices Cols[RowPtr[r]:RowPtr[r+1]].
+type Layer struct {
+	Rows, ColsDim int
+	RowPtr        []int32
+	Cols          []int32
+	Weights       []float64
+	Bias          []float64
+}
+
+// FromDense compresses a dense matrix, dropping exact zeros (which is
+// what a pruning mask leaves behind). bias may be nil.
+func FromDense(w *mat.Matrix, bias []float64) *Layer {
+	l := &Layer{
+		Rows:    w.Rows,
+		ColsDim: w.Cols,
+		RowPtr:  make([]int32, w.Rows+1),
+	}
+	if bias != nil {
+		l.Bias = append([]float64(nil), bias...)
+	}
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		for c, v := range row {
+			if v != 0 {
+				l.Cols = append(l.Cols, int32(c))
+				l.Weights = append(l.Weights, v)
+			}
+		}
+		l.RowPtr[r+1] = int32(len(l.Weights))
+	}
+	return l
+}
+
+// NNZ reports the number of stored nonzeros.
+func (l *Layer) NNZ() int { return len(l.Weights) }
+
+// Density reports NNZ divided by the dense weight count.
+func (l *Layer) Density() float64 {
+	total := l.Rows * l.ColsDim
+	if total == 0 {
+		return 0
+	}
+	return float64(l.NNZ()) / float64(total)
+}
+
+// RowNNZ reports the number of nonzeros in row r.
+func (l *Layer) RowNNZ(r int) int { return int(l.RowPtr[r+1] - l.RowPtr[r]) }
+
+// Row returns the weights and column indices of row r (aliases, do not
+// modify).
+func (l *Layer) Row(r int) (weights []float64, cols []int32) {
+	lo, hi := l.RowPtr[r], l.RowPtr[r+1]
+	return l.Weights[lo:hi], l.Cols[lo:hi]
+}
+
+// MatVec computes dst = L·x (+ bias when present).
+func (l *Layer) MatVec(dst, x []float64) {
+	if len(x) != l.ColsDim || len(dst) != l.Rows {
+		panic(fmt.Sprintf("sparse: MatVec dimension mismatch: layer %dx%d, x %d, dst %d",
+			l.Rows, l.ColsDim, len(x), len(dst)))
+	}
+	for r := 0; r < l.Rows; r++ {
+		var s float64
+		lo, hi := l.RowPtr[r], l.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			s += l.Weights[k] * x[l.Cols[k]]
+		}
+		if l.Bias != nil {
+			s += l.Bias[r]
+		}
+		dst[r] = s
+	}
+}
+
+// ToDense reconstructs the dense matrix (for tests and round-trips).
+func (l *Layer) ToDense() *mat.Matrix {
+	m := mat.NewMatrix(l.Rows, l.ColsDim)
+	for r := 0; r < l.Rows; r++ {
+		w, cols := l.Row(r)
+		for k, c := range cols {
+			m.Set(r, int(c), w[k])
+		}
+	}
+	return m
+}
+
+// StorageBits estimates the model storage in bits for the accelerator's
+// weight buffer: each nonzero carries a weight (weightBits) plus an
+// input index (indexBits), and each row a bias. This mirrors the
+// paper's note that pruned model size must account for the indices.
+func (l *Layer) StorageBits(weightBits, indexBits int) int64 {
+	return int64(l.NNZ())*int64(weightBits+indexBits) + int64(l.Rows)*int64(weightBits)
+}

@@ -1,0 +1,209 @@
+package speech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPhones = 6
+	cfg.Vocab = 8
+	cfg.FeatDim = 5
+	return cfg
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.NumPhones = 1 },
+		func(c *Config) { c.FeatDim = 0 },
+		func(c *Config) { c.Vocab = 1 },
+		func(c *Config) { c.MinWordLen = 0 },
+		func(c *Config) { c.MaxWordLen = 1; c.MinWordLen = 2 },
+		func(c *Config) { c.LoopProb = 1 },
+		func(c *Config) { c.LoopProb = -0.1 },
+	}
+	for i, mutate := range bads {
+		cfg := tinyConfig()
+		mutate(&cfg)
+		if _, err := NewWorld(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestWorldStructure(t *testing.T) {
+	w, err := NewWorld(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumSenones() != 6*StatesPerPhone {
+		t.Fatalf("senones = %d", w.NumSenones())
+	}
+	if len(w.Means) != w.NumSenones() {
+		t.Fatalf("means count %d", len(w.Means))
+	}
+	if len(w.Lexicon) != 8 {
+		t.Fatalf("lexicon size %d", len(w.Lexicon))
+	}
+	// pronunciations must be unique
+	seen := map[string]bool{}
+	for _, phones := range w.Lexicon {
+		key := ""
+		for _, p := range phones {
+			key += string(rune('a' + p))
+			if p < 0 || p >= 6 {
+				t.Fatalf("phone %d out of range", p)
+			}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate pronunciation %q", key)
+		}
+		seen[key] = true
+	}
+	if err := w.LM.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenoneID(t *testing.T) {
+	if SenoneID(0, 0) != 0 || SenoneID(1, 0) != 3 || SenoneID(2, 2) != 8 {
+		t.Fatalf("SenoneID mapping wrong")
+	}
+}
+
+func TestSynthesizeGroundTruth(t *testing.T) {
+	w, _ := NewWorld(tinyConfig())
+	u := w.Synthesize(6, mat.NewRNG(1))
+	if len(u.Words) != 6 {
+		t.Fatalf("words = %d", len(u.Words))
+	}
+	if len(u.Frames) != len(u.Align) {
+		t.Fatalf("frames/align mismatch")
+	}
+	if len(u.Frames) == 0 {
+		t.Fatalf("no frames")
+	}
+	// the alignment must walk each word's senones in order
+	idx := 0
+	for _, wd := range u.Words {
+		for _, phone := range w.Lexicon[wd] {
+			for s := 0; s < StatesPerPhone; s++ {
+				sen := SenoneID(phone, s)
+				if idx >= len(u.Align) || u.Align[idx] != sen {
+					t.Fatalf("alignment does not start senone %d at frame %d", sen, idx)
+				}
+				for idx < len(u.Align) && u.Align[idx] == sen {
+					idx++
+				}
+			}
+		}
+	}
+	if idx != len(u.Align) {
+		t.Fatalf("alignment has %d trailing frames", len(u.Align)-idx)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	w, _ := NewWorld(tinyConfig())
+	a := w.Synthesize(5, mat.NewRNG(42))
+	b := w.Synthesize(5, mat.NewRNG(42))
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("non-deterministic synthesis")
+	}
+	for i := range a.Frames {
+		for d := range a.Frames[i] {
+			if a.Frames[i][d] != b.Frames[i][d] {
+				t.Fatalf("frame %d differs", i)
+			}
+		}
+	}
+}
+
+func TestNoiseScaleIncreasesSpread(t *testing.T) {
+	w, _ := NewWorld(tinyConfig())
+	clean := w.SynthesizeNoisy(20, mat.NewRNG(7), 0.01)
+	// with almost no noise, frames sit on their senone means
+	for i, f := range clean.Frames {
+		mean := w.Means[clean.Align[i]]
+		for d := range f {
+			if math.Abs(f[d]-mean[d]) > 0.1 {
+				t.Fatalf("frame %d far from mean at low noise", i)
+			}
+		}
+	}
+}
+
+func TestSpliceEdges(t *testing.T) {
+	frames := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	s := Splice(frames, 0, 1)
+	// left edge repeats frame 0
+	want := []float64{1, 1, 1, 1, 2, 2}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Splice(0) = %v", s)
+		}
+	}
+	s = Splice(frames, 2, 1)
+	want = []float64{2, 2, 3, 3, 3, 3}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Splice(2) = %v", s)
+		}
+	}
+	if Splice(nil, 0, 1) != nil {
+		t.Fatalf("empty frames should give nil")
+	}
+}
+
+func TestSpliceAllAndTrainingSamples(t *testing.T) {
+	w, _ := NewWorld(tinyConfig())
+	u := w.Synthesize(3, mat.NewRNG(2))
+	spliced := SpliceAll(u.Frames, 2)
+	if len(spliced) != len(u.Frames) {
+		t.Fatalf("SpliceAll length mismatch")
+	}
+	wantDim := 5 * (2*2 + 1)
+	if len(spliced[0]) != wantDim {
+		t.Fatalf("spliced dim %d, want %d", len(spliced[0]), wantDim)
+	}
+	samples := TrainingSamples([]*Utterance{u}, 2)
+	if len(samples) != len(u.Frames) {
+		t.Fatalf("sample count mismatch")
+	}
+	for i, s := range samples {
+		if s.Label != u.Align[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		if len(s.Input) != wantDim {
+			t.Fatalf("sample dim %d", len(s.Input))
+		}
+	}
+}
+
+func TestSynthesizeSetSeeding(t *testing.T) {
+	w, _ := NewWorld(tinyConfig())
+	a := w.SynthesizeSet(3, 4, 99)
+	b := w.SynthesizeSet(3, 4, 99)
+	c := w.SynthesizeSet(3, 4, 100)
+	if len(a) != 3 {
+		t.Fatalf("set size %d", len(a))
+	}
+	if len(a[0].Frames) != len(b[0].Frames) {
+		t.Fatalf("same seed, different sets")
+	}
+	same := len(a[0].Frames) == len(c[0].Frames)
+	if same {
+		for i := range a[0].Frames {
+			if a[0].Frames[i][0] != c[0].Frames[i][0] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical first utterance")
+	}
+}

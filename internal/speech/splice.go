@@ -1,0 +1,51 @@
+package speech
+
+import "repro/internal/dnn"
+
+// Splice builds the DNN input for frame t of the utterance: the
+// concatenation of frames t-context..t+context (edge frames repeat),
+// matching Kaldi's ±4 splicing that produces the 360-feature input of
+// Table I.
+func Splice(frames [][]float64, t, context int) []float64 {
+	if len(frames) == 0 {
+		return nil
+	}
+	featDim := len(frames[0])
+	out := make([]float64, 0, featDim*(2*context+1))
+	for off := -context; off <= context; off++ {
+		idx := t + off
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(frames) {
+			idx = len(frames) - 1
+		}
+		out = append(out, frames[idx]...)
+	}
+	return out
+}
+
+// SpliceAll returns the spliced input for every frame of the utterance.
+func SpliceAll(frames [][]float64, context int) [][]float64 {
+	out := make([][]float64, len(frames))
+	for t := range frames {
+		out[t] = Splice(frames, t, context)
+	}
+	return out
+}
+
+// TrainingSamples converts utterances into labelled DNN samples using
+// the ground-truth alignment, the synthetic stand-in for Kaldi's
+// forced-alignment training targets.
+func TrainingSamples(utts []*Utterance, context int) []dnn.Sample {
+	var samples []dnn.Sample
+	for _, u := range utts {
+		for t := range u.Frames {
+			samples = append(samples, dnn.Sample{
+				Input: Splice(u.Frames, t, context),
+				Label: u.Align[t],
+			})
+		}
+	}
+	return samples
+}

@@ -1,0 +1,203 @@
+// Package speech synthesizes the acoustic world that replaces
+// LibriSpeech + Kaldi features in this reproduction: a phone inventory
+// with 3-state HMMs, Gaussian emission models per HMM state (senone), a
+// lexicon mapping words to phone strings, and an utterance sampler that
+// yields frames together with their ground-truth senone alignment and
+// word transcript.
+//
+// The substitution is behaviour-preserving for the paper's questions:
+// DNN confidence, beam-search workload and WER depend on the
+// statistical shape of acoustic scores and on having ground truth to
+// score against — both of which a generative HMM world supplies.
+package speech
+
+import (
+	"fmt"
+
+	"repro/internal/lm"
+	"repro/internal/mat"
+)
+
+// StatesPerPhone is the HMM topology depth (Kaldi uses 3-state HMMs).
+const StatesPerPhone = 3
+
+// Config describes the synthetic world.
+type Config struct {
+	NumPhones   int     // phone inventory size
+	FeatDim     int     // acoustic feature dimensionality per frame
+	Vocab       int     // number of words
+	MinWordLen  int     // phones per word, lower bound
+	MaxWordLen  int     // phones per word, upper bound
+	Separation  float64 // distance scale between senone means (class separability)
+	StateSpread float64 // displacement of a phone's states around its base, as a fraction of Separation (0 = default 0.45)
+	NoiseStd    float64 // emission noise standard deviation
+	LoopProb    float64 // HMM self-loop probability (controls state durations)
+	LMPeakiness float64 // bigram concentration (<1 = peaky)
+	Seed        int64
+}
+
+// DefaultConfig returns a world whose baseline DNN trains to high
+// confidence in seconds at small scales — the regime the paper's
+// non-pruned model occupies (mean confidence 0.68).
+func DefaultConfig() Config {
+	return Config{
+		NumPhones:   16,
+		FeatDim:     12,
+		Vocab:       24,
+		MinWordLen:  2,
+		MaxWordLen:  4,
+		Separation:  2.2,
+		StateSpread: 0.45,
+		NoiseStd:    1.0,
+		LoopProb:    0.55,
+		LMPeakiness: 0.35,
+		Seed:        42,
+	}
+}
+
+// World holds the generative model: lexicon, language model and
+// per-senone Gaussian emissions.
+type World struct {
+	Config  Config
+	LM      *lm.Model
+	Lexicon [][]int     // word -> phone ids
+	Means   [][]float64 // senone -> mean vector (FeatDim)
+
+	rngEmit *mat.RNG
+}
+
+// NumSenones reports the number of HMM states (= DNN output classes).
+func (w *World) NumSenones() int { return w.Config.NumPhones * StatesPerPhone }
+
+// SenoneID maps (phone, state) to the senone index.
+func SenoneID(phone, state int) int { return phone*StatesPerPhone + state }
+
+// NewWorld constructs a deterministic world from cfg.
+func NewWorld(cfg Config) (*World, error) {
+	switch {
+	case cfg.NumPhones < 2:
+		return nil, fmt.Errorf("speech: need at least 2 phones, got %d", cfg.NumPhones)
+	case cfg.FeatDim < 1:
+		return nil, fmt.Errorf("speech: feature dim must be positive")
+	case cfg.Vocab < 2:
+		return nil, fmt.Errorf("speech: need at least 2 words")
+	case cfg.MinWordLen < 1 || cfg.MaxWordLen < cfg.MinWordLen:
+		return nil, fmt.Errorf("speech: bad word length range [%d,%d]", cfg.MinWordLen, cfg.MaxWordLen)
+	case cfg.LoopProb < 0 || cfg.LoopProb >= 1:
+		return nil, fmt.Errorf("speech: loop probability %v out of [0,1)", cfg.LoopProb)
+	}
+	rng := mat.NewRNG(cfg.Seed)
+	w := &World{Config: cfg}
+
+	// Emission means: each phone gets a base point; its three states
+	// are displaced from the base by a smaller offset, so states of the
+	// same phone are mutually confusable — the realistic structure that
+	// makes "flat" pruned-DNN scores spread probability onto plausible
+	// neighbours rather than uniformly.
+	phoneRNG := rng.Fork()
+	w.Means = make([][]float64, w.NumSenones())
+	for p := 0; p < cfg.NumPhones; p++ {
+		base := make([]float64, cfg.FeatDim)
+		phoneRNG.FillNorm(base, 0, cfg.Separation)
+		for s := 0; s < StatesPerPhone; s++ {
+			mean := make([]float64, cfg.FeatDim)
+			spread := cfg.StateSpread
+			if spread == 0 {
+				spread = 0.45
+			}
+			for d := range mean {
+				mean[d] = base[d] + cfg.Separation*spread*phoneRNG.NormFloat64()
+			}
+			w.Means[SenoneID(p, s)] = mean
+		}
+	}
+
+	// Lexicon: random phone strings, guaranteed unique so that every
+	// word is in principle recognizable.
+	lexRNG := rng.Fork()
+	seen := map[string]bool{}
+	w.Lexicon = make([][]int, cfg.Vocab)
+	for wd := 0; wd < cfg.Vocab; wd++ {
+		for attempt := 0; ; attempt++ {
+			n := cfg.MinWordLen + lexRNG.Intn(cfg.MaxWordLen-cfg.MinWordLen+1)
+			phones := make([]int, n)
+			for i := range phones {
+				phones[i] = lexRNG.Intn(cfg.NumPhones)
+			}
+			key := fmt.Sprint(phones)
+			if !seen[key] {
+				seen[key] = true
+				w.Lexicon[wd] = phones
+				break
+			}
+			if attempt > 1000 {
+				return nil, fmt.Errorf("speech: cannot build %d unique pronunciations; enlarge phone set or word length", cfg.Vocab)
+			}
+		}
+	}
+
+	w.LM = lm.NewRandom(cfg.Vocab, cfg.LMPeakiness, rng.Fork())
+	w.rngEmit = rng.Fork()
+	return w, nil
+}
+
+// Utterance is one synthesized audio clip with full ground truth.
+type Utterance struct {
+	Words  []int       // transcript (word ids)
+	Frames [][]float64 // FeatDim acoustic features per 10ms frame
+	Align  []int       // ground-truth senone per frame
+}
+
+// NumFrames reports the utterance length in frames.
+func (u *Utterance) NumFrames() int { return len(u.Frames) }
+
+// Synthesize samples an utterance of the given word count using the
+// provided RNG (pass w.RNG() or a fork for reproducibility).
+func (w *World) Synthesize(words int, rng *mat.RNG) *Utterance {
+	return w.SynthesizeNoisy(words, rng, 1)
+}
+
+// SynthesizeNoisy is Synthesize with the emission noise scaled by
+// noiseScale. A test set synthesized with noiseScale > 1 models the
+// train/test mismatch of real speech corpora and yields a realistic
+// non-zero Word Error Rate.
+func (w *World) SynthesizeNoisy(words int, rng *mat.RNG, noiseScale float64) *Utterance {
+	u := &Utterance{Words: w.LM.SampleSentence(words, rng)}
+	std := w.Config.NoiseStd * noiseScale
+	for _, wd := range u.Words {
+		for _, phone := range w.Lexicon[wd] {
+			for s := 0; s < StatesPerPhone; s++ {
+				senone := SenoneID(phone, s)
+				dur := rng.Geometric(w.Config.LoopProb)
+				for d := 0; d < dur; d++ {
+					frame := make([]float64, w.Config.FeatDim)
+					mean := w.Means[senone]
+					for i := range frame {
+						frame[i] = mean[i] + std*rng.NormFloat64()
+					}
+					u.Frames = append(u.Frames, frame)
+					u.Align = append(u.Align, senone)
+				}
+			}
+		}
+	}
+	return u
+}
+
+// SynthesizeSet samples n utterances of wordsPerUtt words each.
+func (w *World) SynthesizeSet(n, wordsPerUtt int, seed int64) []*Utterance {
+	return w.SynthesizeSetNoisy(n, wordsPerUtt, seed, 1)
+}
+
+// SynthesizeSetNoisy samples n utterances with scaled emission noise.
+func (w *World) SynthesizeSetNoisy(n, wordsPerUtt int, seed int64, noiseScale float64) []*Utterance {
+	rng := mat.NewRNG(seed)
+	utts := make([]*Utterance, n)
+	for i := range utts {
+		utts[i] = w.SynthesizeNoisy(wordsPerUtt, rng.Fork(), noiseScale)
+	}
+	return utts
+}
+
+// RNG returns a fresh deterministic stream derived from the world seed.
+func (w *World) RNG() *mat.RNG { return w.rngEmit.Fork() }

@@ -1,0 +1,47 @@
+package wer
+
+import "testing"
+
+// FuzzDistance checks metric invariants on arbitrary byte-derived word
+// sequences: symmetry of the error count, the triangle-free bounds,
+// and full coverage of both sequences by the reported operations.
+func FuzzDistance(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{1, 2, 3})
+	f.Add([]byte{}, []byte{5})
+	f.Add([]byte{1, 1, 1, 1}, []byte{2})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		ref := make([]int, len(a))
+		hyp := make([]int, len(b))
+		for i, v := range a {
+			ref[i] = int(v % 7)
+		}
+		for i, v := range b {
+			hyp[i] = int(v % 7)
+		}
+		ops := Distance(ref, hyp)
+		e := ops.Errors()
+		diff := len(ref) - len(hyp)
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := max(len(ref), len(hyp))
+		if e < diff || e > maxLen {
+			t.Fatalf("distance %d outside [%d,%d]", e, diff, maxLen)
+		}
+		if ops.Matches+ops.Substitutions+ops.Deletions != len(ref) {
+			t.Fatalf("reference not covered: %+v", ops)
+		}
+		if ops.Matches+ops.Substitutions+ops.Insertions != len(hyp) {
+			t.Fatalf("hypothesis not covered: %+v", ops)
+		}
+		if rev := Distance(hyp, ref); rev.Errors() != e {
+			t.Fatalf("asymmetric error count: %d vs %d", e, rev.Errors())
+		}
+	})
+}

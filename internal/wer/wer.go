@@ -1,0 +1,115 @@
+// Package wer computes Word Error Rate, the accuracy metric of the
+// paper's ASR evaluation: the Levenshtein distance between reference
+// and hypothesis word sequences divided by the reference length.
+package wer
+
+// Ops breaks an alignment into its edit operations.
+type Ops struct {
+	Substitutions int
+	Insertions    int
+	Deletions     int
+	Matches       int
+}
+
+// Distance returns the edit operations of the minimal alignment
+// between the reference and hypothesis sequences.
+func Distance(ref, hyp []int) Ops {
+	n, m := len(ref), len(hyp)
+	// dp[i][j] = minimal edits aligning ref[:i] with hyp[:j]
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	// backtrack matrix packed as bytes: 0 diag-match, 1 diag-sub, 2 ins, 3 del
+	back := make([][]byte, n+1)
+	for i := range back {
+		back[i] = make([]byte, m+1)
+	}
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+		if j > 0 {
+			back[0][j] = 2
+		}
+	}
+	for i := 1; i <= n; i++ {
+		curr[0] = i
+		back[i][0] = 3
+		for j := 1; j <= m; j++ {
+			diag := prev[j-1]
+			op := byte(0)
+			if ref[i-1] != hyp[j-1] {
+				diag++
+				op = 1
+			}
+			best, bop := diag, op
+			if ins := curr[j-1] + 1; ins < best {
+				best, bop = ins, 2
+			}
+			if del := prev[j] + 1; del < best {
+				best, bop = del, 3
+			}
+			curr[j] = best
+			back[i][j] = bop
+		}
+		prev, curr = curr, prev
+	}
+
+	var ops Ops
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch back[i][j] {
+		case 0:
+			ops.Matches++
+			i--
+			j--
+		case 1:
+			ops.Substitutions++
+			i--
+			j--
+		case 2:
+			ops.Insertions++
+			j--
+		case 3:
+			ops.Deletions++
+			i--
+		}
+	}
+	return ops
+}
+
+// Errors reports the total error count of the alignment.
+func (o Ops) Errors() int { return o.Substitutions + o.Insertions + o.Deletions }
+
+// Rate returns WER in percent for one reference/hypothesis pair.
+func Rate(ref, hyp []int) float64 {
+	if len(ref) == 0 {
+		if len(hyp) == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * float64(Distance(ref, hyp).Errors()) / float64(len(ref))
+}
+
+// Corpus accumulates WER across utterances, weighting by reference
+// length as standard scoring tools do.
+type Corpus struct {
+	RefWords int
+	Ops      Ops
+}
+
+// Add scores one utterance into the corpus total.
+func (c *Corpus) Add(ref, hyp []int) {
+	ops := Distance(ref, hyp)
+	c.RefWords += len(ref)
+	c.Ops.Substitutions += ops.Substitutions
+	c.Ops.Insertions += ops.Insertions
+	c.Ops.Deletions += ops.Deletions
+	c.Ops.Matches += ops.Matches
+}
+
+// Rate returns the corpus-level WER in percent.
+func (c *Corpus) Rate() float64 {
+	if c.RefWords == 0 {
+		return 0
+	}
+	return 100 * float64(c.Ops.Errors()) / float64(c.RefWords)
+}

@@ -1,0 +1,102 @@
+package wer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateBasics(t *testing.T) {
+	ref := []int{1, 2, 3}
+	if Rate(ref, ref) != 0 {
+		t.Fatalf("identical sequences should have WER 0")
+	}
+	if Rate(ref, nil) != 100 {
+		t.Fatalf("empty hypothesis = 3 deletions = 100%%")
+	}
+	if Rate(nil, nil) != 0 {
+		t.Fatalf("both empty should be 0")
+	}
+	if Rate(nil, []int{1}) != 100 {
+		t.Fatalf("insertion into empty ref is 100%%")
+	}
+}
+
+func TestDistanceOps(t *testing.T) {
+	cases := []struct {
+		ref, hyp      []int
+		sub, ins, del int
+	}{
+		{[]int{1, 2, 3}, []int{1, 9, 3}, 1, 0, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3, 4}, 0, 1, 0},
+		{[]int{1, 2, 3}, []int{1, 3}, 0, 0, 1},
+	}
+	// multiple minimal alignments can exist; this extra case only pins
+	// the total error count
+	if e := Distance([]int{1, 2, 3, 4}, []int{9, 2, 4, 7}).Errors(); e != 3 {
+		t.Fatalf("mixed-op distance = %d, want 3", e)
+	}
+	for i, c := range cases {
+		ops := Distance(c.ref, c.hyp)
+		if ops.Substitutions != c.sub || ops.Insertions != c.ins || ops.Deletions != c.del {
+			t.Fatalf("case %d: got %+v, want sub=%d ins=%d del=%d", i, ops, c.sub, c.ins, c.del)
+		}
+		if ops.Matches+ops.Substitutions+ops.Deletions != len(c.ref) {
+			t.Fatalf("case %d: ops do not cover reference", i)
+		}
+		if ops.Matches+ops.Substitutions+ops.Insertions != len(c.hyp) {
+			t.Fatalf("case %d: ops do not cover hypothesis", i)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	gen := func(rng *rand.Rand, n int) []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = rng.Intn(5)
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := gen(rng, rng.Intn(12))
+		hyp := gen(rng, rng.Intn(12))
+		ops := Distance(ref, hyp)
+		e := ops.Errors()
+		// metric bounds: |len diff| <= distance <= max(len)
+		diff := len(ref) - len(hyp)
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := len(ref)
+		if len(hyp) > maxLen {
+			maxLen = len(hyp)
+		}
+		if e < diff || e > maxLen {
+			return false
+		}
+		// symmetry of the error count (sub stays, ins/del swap)
+		rev := Distance(hyp, ref)
+		return rev.Errors() == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusAccumulation(t *testing.T) {
+	var c Corpus
+	c.Add([]int{1, 2, 3}, []int{1, 2, 3})
+	c.Add([]int{1, 2}, []int{9, 2})
+	if c.RefWords != 5 {
+		t.Fatalf("RefWords = %d", c.RefWords)
+	}
+	if got := c.Rate(); got != 20 {
+		t.Fatalf("corpus WER = %v, want 20", got)
+	}
+	var empty Corpus
+	if empty.Rate() != 0 {
+		t.Fatalf("empty corpus should be 0")
+	}
+}

@@ -1,0 +1,70 @@
+package wfst
+
+import (
+	"math"
+
+	"repro/internal/speech"
+)
+
+// Compile builds the decoding graph for a synthetic world: the
+// composition of the bigram grammar G with the lexicon L and the
+// 3-state HMM topology H — a compact HCLG equivalent.
+//
+// Structure: one hub state per language-model history (V word
+// histories plus the start history). For every (history h, word w)
+// pair there is a fresh HMM chain:
+//
+//	hub[h] --ε:w / -logP(w|h)--> q0 --s1:ε/t--> q1(self s1) --s2:ε/t--> ...
+//	                             ... qn(self sn) --ε:ε/0--> hub[w]
+//
+// where s1..sn are the senones of w's phones in order; every emitting
+// arc carries the HMM transition cost (-log of loop or forward
+// probability) and consumes one frame; each chain state qi (i>=1) has a
+// self-loop on its senone. Hub states are final.
+//
+// This is exactly the search space the paper's Viterbi accelerator
+// walks: states with multiple outgoing arcs (hubs fan out to every
+// word), word labels on cross-word transitions carrying LM cost, and
+// senone-labelled emitting arcs scored by the DNN.
+func Compile(w *speech.World) *FST {
+	v := w.Config.Vocab
+	loop := w.Config.LoopProb
+	loopCost := -math.Log(loop)
+	fwdCost := -math.Log(1 - loop)
+
+	f := New(0, 0)
+	hubs := make([]int32, v+1) // history word 0..V-1 and start=V
+	for h := range hubs {
+		hubs[h] = f.AddState()
+		f.SetFinal(hubs[h], 0)
+	}
+	f.Start = hubs[w.LM.Start()]
+
+	for h := 0; h <= v; h++ {
+		for word := 0; word < v; word++ {
+			lmCost := w.LM.Cost(h, word)
+			if math.IsInf(lmCost, 1) {
+				continue
+			}
+			// senone sequence of the word
+			var senones []int
+			for _, phone := range w.Lexicon[word] {
+				for s := 0; s < speech.StatesPerPhone; s++ {
+					senones = append(senones, speech.SenoneID(phone, s))
+				}
+			}
+			// entry state
+			q := f.AddState()
+			f.AddArc(hubs[h], Arc{ILabel: Epsilon, OLabel: OLabelOf(word), Weight: lmCost, Next: q})
+			// chain
+			for _, sen := range senones {
+				next := f.AddState()
+				f.AddArc(q, Arc{ILabel: ILabelOf(sen), OLabel: Epsilon, Weight: fwdCost, Next: next})
+				f.AddArc(next, Arc{ILabel: ILabelOf(sen), OLabel: Epsilon, Weight: loopCost, Next: next})
+				q = next
+			}
+			f.AddArc(q, Arc{ILabel: Epsilon, OLabel: Epsilon, Weight: 0, Next: hubs[word]})
+		}
+	}
+	return f
+}

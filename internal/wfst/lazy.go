@@ -1,0 +1,171 @@
+package wfst
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/speech"
+)
+
+// Graph is the decoder's view of a decoding graph: the precompiled FST
+// or an on-the-fly composition (UNFOLD's defining memory optimization:
+// "a memory-efficient speech recognizer using on-the-fly WFST
+// composition"). Implementations must be deterministic: the same state
+// id always denotes the same logical state.
+type Graph interface {
+	StartState() int32
+	Arcs(s int32) []Arc
+	IsFinal(s int32) bool
+	FinalCost(s int32) float64
+	// NumStates reports the (virtual) state-space size; lazy graphs
+	// report the full addressable space, not what is materialized.
+	NumStates() int
+}
+
+// StartState implements Graph for the eager FST.
+func (f *FST) StartState() int32 { return f.Start }
+
+var _ Graph = (*FST)(nil)
+
+// Lazy composes the lexicon chains with the bigram grammar on demand.
+// Instead of materializing one chain per (history, word) pair offline
+// (the eager Compile), it stores V word chains plus the LM and expands
+// arcs lazily, caching what the search actually touches. State ids are
+// computed arithmetically from (history, word, position), so they are
+// stable across runs and identical search behaviour falls out.
+//
+// Virtual layout (ids):
+//
+//	[0, V]                          hub states, one per history (V = start)
+//	hubCount + ((h*V + w)*span + p) chain state p of word w under history h
+//
+// where span = longest chain length + 1.
+type Lazy struct {
+	vocab    int
+	loopCost float64
+	fwdCost  float64
+	lmCost   func(h, w int) float64
+	chains   [][]int // word -> senone sequence
+	span     int
+
+	cache map[int32][]Arc
+	// stats
+	expanded int
+}
+
+// NewLazy builds the on-the-fly composition for a synthetic world,
+// producing exactly the same search space as Compile(world).
+func NewLazy(w *speech.World) *Lazy {
+	l := &Lazy{
+		vocab:    w.Config.Vocab,
+		loopCost: -math.Log(w.Config.LoopProb),
+		fwdCost:  -math.Log(1 - w.Config.LoopProb),
+		lmCost:   w.LM.Cost,
+		cache:    map[int32][]Arc{},
+	}
+	for word := 0; word < l.vocab; word++ {
+		var senones []int
+		for _, phone := range w.Lexicon[word] {
+			for s := 0; s < speech.StatesPerPhone; s++ {
+				senones = append(senones, speech.SenoneID(phone, s))
+			}
+		}
+		l.chains = append(l.chains, senones)
+		if len(senones)+1 > l.span {
+			l.span = len(senones) + 1
+		}
+	}
+	return l
+}
+
+// hubCount reports the number of hub states (histories).
+func (l *Lazy) hubCount() int32 { return int32(l.vocab + 1) }
+
+// StartState is the start-history hub.
+func (l *Lazy) StartState() int32 { return int32(l.vocab) }
+
+// NumStates reports the virtual addressable state space.
+func (l *Lazy) NumStates() int {
+	return int(l.hubCount()) + (l.vocab+1)*l.vocab*l.span
+}
+
+// MaterializedStates reports how many states the search actually
+// touched — the lazy composition's memory story.
+func (l *Lazy) MaterializedStates() int { return l.expanded }
+
+// MaterializedArcs reports the number of cached arcs.
+func (l *Lazy) MaterializedArcs() int {
+	n := 0
+	for _, arcs := range l.cache {
+		n += len(arcs)
+	}
+	return n
+}
+
+// IsFinal: hubs are final, chain states are not.
+func (l *Lazy) IsFinal(s int32) bool { return s < l.hubCount() }
+
+// FinalCost is 0 for hubs, +Inf otherwise.
+func (l *Lazy) FinalCost(s int32) float64 {
+	if l.IsFinal(s) {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// chainID encodes (history, word, position) into a state id.
+func (l *Lazy) chainID(h, w, p int) int32 {
+	return l.hubCount() + int32((h*l.vocab+w)*l.span+p)
+}
+
+// decode splits a chain state id back into (history, word, position).
+func (l *Lazy) decode(s int32) (h, w, p int) {
+	v := int(s - l.hubCount())
+	p = v % l.span
+	v /= l.span
+	return v / l.vocab, v % l.vocab, p
+}
+
+// Arcs expands (and caches) the out-arcs of a state on first touch.
+func (l *Lazy) Arcs(s int32) []Arc {
+	if arcs, ok := l.cache[s]; ok {
+		return arcs
+	}
+	var arcs []Arc
+	if s < l.hubCount() {
+		h := int(s)
+		arcs = make([]Arc, 0, l.vocab)
+		for w := 0; w < l.vocab; w++ {
+			arcs = append(arcs, Arc{
+				ILabel: Epsilon, OLabel: OLabelOf(w),
+				Weight: l.lmCost(h, w), Next: l.chainID(h, w, 0),
+			})
+		}
+	} else {
+		h, w, p := l.decode(s)
+		chain := l.chains[w]
+		switch {
+		case p < 0 || p > len(chain):
+			panic(fmt.Sprintf("wfst: invalid lazy state %d", s))
+		case p == len(chain):
+			// chain end: epsilon to the next-history hub, plus the
+			// self-loop on the final senone
+			arcs = []Arc{
+				{ILabel: ILabelOf(chain[p-1]), Weight: l.loopCost, Next: s},
+				{ILabel: Epsilon, Weight: 0, Next: int32(w)},
+			}
+		case p == 0:
+			arcs = []Arc{{ILabel: ILabelOf(chain[0]), Weight: l.fwdCost, Next: l.chainID(h, w, 1)}}
+		default:
+			arcs = []Arc{
+				{ILabel: ILabelOf(chain[p-1]), Weight: l.loopCost, Next: s},
+				{ILabel: ILabelOf(chain[p]), Weight: l.fwdCost, Next: l.chainID(h, w, p+1)},
+			}
+		}
+	}
+	l.cache[s] = arcs
+	l.expanded++
+	return arcs
+}
+
+var _ Graph = (*Lazy)(nil)

@@ -1,0 +1,215 @@
+package wfst
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/speech"
+)
+
+// lazyWorld builds a small world for composition tests.
+func lazyWorld(t *testing.T) *speech.World {
+	t.Helper()
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 6
+	cfg.Vocab = 8
+	cfg.FeatDim = 5
+	w, err := speech.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// exactBest runs dense Viterbi DP over any Graph (reference algorithm
+// shared with the decoder tests, reimplemented here against the
+// interface so eager and lazy graphs can be compared directly).
+func exactBest(g Graph, scores [][]float64, numStates int) float64 {
+	cost := map[int32]float64{g.StartState(): 0}
+
+	relaxEps := func() {
+		for changed := true; changed; {
+			changed = false
+			// deterministic order for reproducibility
+			keys := make([]int32, 0, len(cost))
+			for s := range cost {
+				keys = append(keys, s)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, s := range keys {
+				for _, a := range g.Arcs(s) {
+					if a.ILabel != Epsilon {
+						continue
+					}
+					c := cost[s] + a.Weight
+					if old, ok := cost[a.Next]; !ok || c < old {
+						cost[a.Next] = c
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, frame := range scores {
+		relaxEps()
+		next := map[int32]float64{}
+		for s, cs := range cost {
+			for _, a := range g.Arcs(s) {
+				if a.ILabel == Epsilon {
+					continue
+				}
+				c := cs + a.Weight - frame[SenoneOf(a.ILabel)]
+				if old, ok := next[a.Next]; !ok || c < old {
+					next[a.Next] = c
+				}
+			}
+		}
+		cost = next
+	}
+	relaxEps()
+	best := math.Inf(1)
+	for s, c := range cost {
+		if g.IsFinal(s) && c+g.FinalCost(s) < best {
+			best = c + g.FinalCost(s)
+		}
+	}
+	_ = numStates
+	return best
+}
+
+func randomScores(w *speech.World, frames int, seed int64) [][]float64 {
+	rng := w.RNG()
+	_ = seed
+	out := make([][]float64, frames)
+	for t := range out {
+		raw := make([]float64, w.NumSenones())
+		rng.FillNorm(raw, 0, 2)
+		// normalize to log-posteriors
+		var lse float64
+		maxv := math.Inf(-1)
+		for _, v := range raw {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		for _, v := range raw {
+			lse += math.Exp(v - maxv)
+		}
+		lse = maxv + math.Log(lse)
+		for i := range raw {
+			raw[i] -= lse
+		}
+		out[t] = raw
+	}
+	return out
+}
+
+func TestLazyEquivalentToEagerCompile(t *testing.T) {
+	w := lazyWorld(t)
+	eager := Compile(w)
+	lazy := NewLazy(w)
+
+	for trial := 0; trial < 3; trial++ {
+		scores := randomScores(w, 10+3*trial, int64(trial))
+		a := exactBest(eager, scores, eager.NumStates())
+		b := exactBest(lazy, scores, lazy.NumStates())
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("trial %d: eager best %v != lazy best %v", trial, a, b)
+		}
+	}
+}
+
+func TestLazyMaterializesLessThanFull(t *testing.T) {
+	w := lazyWorld(t)
+	lazy := NewLazy(w)
+	scores := randomScores(w, 12, 1)
+	exactBest(lazy, scores, lazy.NumStates())
+	if lazy.MaterializedStates() == 0 {
+		t.Fatalf("nothing materialized")
+	}
+	// the exhaustive reference touches everything reachable; a beam
+	// search touches far less — checked at the decoder level. Here we
+	// only require the cache to stay within the virtual space.
+	if lazy.MaterializedStates() > lazy.NumStates() {
+		t.Fatalf("materialized %d > virtual %d", lazy.MaterializedStates(), lazy.NumStates())
+	}
+	if lazy.MaterializedArcs() == 0 {
+		t.Fatalf("no arcs cached")
+	}
+}
+
+func TestLazyStructure(t *testing.T) {
+	w := lazyWorld(t)
+	lazy := NewLazy(w)
+	// start hub fans out to every word with LM cost and olabel
+	start := lazy.Arcs(lazy.StartState())
+	if len(start) != w.Config.Vocab {
+		t.Fatalf("start fanout %d", len(start))
+	}
+	for _, a := range start {
+		word := WordOf(a.OLabel)
+		if word < 0 {
+			t.Fatalf("entry arc missing word")
+		}
+		if math.Abs(a.Weight-w.LM.Cost(w.LM.Start(), word)) > 1e-12 {
+			t.Fatalf("entry weight wrong")
+		}
+	}
+	// hubs are final, chain states are not
+	if !lazy.IsFinal(0) || lazy.IsFinal(lazy.hubCount()) {
+		t.Fatalf("finality wrong")
+	}
+	if lazy.FinalCost(0) != 0 || !math.IsInf(lazy.FinalCost(lazy.hubCount()), 1) {
+		t.Fatalf("final costs wrong")
+	}
+	// walking word 0's chain reaches hub[0]
+	s := start[0].Next
+	word := WordOf(start[0].OLabel)
+	steps := 0
+	for {
+		arcs := lazy.Arcs(s)
+		var next int32 = -1
+		done := false
+		for _, a := range arcs {
+			if a.ILabel == Epsilon {
+				if int(a.Next) != word {
+					t.Fatalf("chain exit to hub %d, want %d", a.Next, word)
+				}
+				done = true
+			} else if a.Next != s {
+				next = a.Next
+			}
+		}
+		if done {
+			break
+		}
+		if next < 0 {
+			t.Fatalf("chain dead-ends at %d", s)
+		}
+		s = next
+		if steps++; steps > 100 {
+			t.Fatalf("chain does not terminate")
+		}
+	}
+}
+
+func TestLazyIDRoundTrip(t *testing.T) {
+	w := lazyWorld(t)
+	lazy := NewLazy(w)
+	for h := 0; h <= w.Config.Vocab; h++ {
+		for word := 0; word < w.Config.Vocab; word++ {
+			for p := 0; p < lazy.span; p++ {
+				id := lazy.chainID(h, word, p)
+				h2, w2, p2 := lazy.decode(id)
+				if h2 != h || w2 != word || p2 != p {
+					t.Fatalf("id %d: (%d,%d,%d) -> (%d,%d,%d)", id, h, word, p, h2, w2, p2)
+				}
+				if lazy.IsFinal(id) {
+					t.Fatalf("chain state %d reported final", id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package wfst implements the weighted finite-state transducer used as
+// the decoding graph: input labels are senones (DNN output classes),
+// output labels are words, and arc weights carry HMM transition and
+// language-model costs, exactly the role the WFST plays in Section II-C
+// of the paper.
+package wfst
+
+import (
+	"fmt"
+	"math"
+)
+
+// Epsilon is the empty label on either tape.
+const Epsilon int32 = 0
+
+// Arc is one transition. ILabel is 0 for epsilon or senone+1 otherwise;
+// OLabel is 0 for epsilon or word+1 otherwise. Weight is a -log
+// probability (a cost; smaller is more likely).
+type Arc struct {
+	ILabel int32
+	OLabel int32
+	Weight float64
+	Next   int32
+}
+
+// ILabelOf converts a senone id to an input label.
+func ILabelOf(senone int) int32 { return int32(senone) + 1 }
+
+// SenoneOf converts an input label back to a senone id (-1 for epsilon).
+func SenoneOf(ilabel int32) int { return int(ilabel) - 1 }
+
+// OLabelOf converts a word id to an output label.
+func OLabelOf(word int) int32 { return int32(word) + 1 }
+
+// WordOf converts an output label back to a word id (-1 for epsilon).
+func WordOf(olabel int32) int { return int(olabel) - 1 }
+
+// FST is a weighted finite-state transducer over the tropical semiring.
+type FST struct {
+	Start int32
+	arcs  [][]Arc
+	final []float64 // +Inf = non-final, else final cost
+}
+
+// New creates an FST with n states and the given start state.
+func New(n int, start int32) *FST {
+	f := &FST{Start: start, arcs: make([][]Arc, n), final: make([]float64, n)}
+	for i := range f.final {
+		f.final[i] = math.Inf(1)
+	}
+	return f
+}
+
+// NumStates reports the number of states.
+func (f *FST) NumStates() int { return len(f.arcs) }
+
+// NumArcs reports the total number of arcs.
+func (f *FST) NumArcs() int {
+	n := 0
+	for _, a := range f.arcs {
+		n += len(a)
+	}
+	return n
+}
+
+// AddState appends a new state and returns its id.
+func (f *FST) AddState() int32 {
+	f.arcs = append(f.arcs, nil)
+	f.final = append(f.final, math.Inf(1))
+	return int32(len(f.arcs) - 1)
+}
+
+// AddArc appends an arc leaving state s.
+func (f *FST) AddArc(s int32, a Arc) {
+	f.arcs[s] = append(f.arcs[s], a)
+}
+
+// SetFinal marks state s final with the given cost.
+func (f *FST) SetFinal(s int32, cost float64) { f.final[s] = cost }
+
+// FinalCost returns the final cost of s (+Inf if non-final).
+func (f *FST) FinalCost(s int32) float64 { return f.final[s] }
+
+// IsFinal reports whether s is a final state.
+func (f *FST) IsFinal(s int32) bool { return !math.IsInf(f.final[s], 1) }
+
+// Arcs returns the out-arcs of state s (aliased; do not modify).
+func (f *FST) Arcs(s int32) []Arc { return f.arcs[s] }
+
+// Validate checks structural invariants: arc targets in range, labels
+// non-negative, weights finite, at least one final state reachable is
+// not verified here (see decoder tests).
+func (f *FST) Validate(maxILabel, maxOLabel int32) error {
+	if f.Start < 0 || int(f.Start) >= f.NumStates() {
+		return fmt.Errorf("wfst: start state %d out of range", f.Start)
+	}
+	anyFinal := false
+	for s, arcs := range f.arcs {
+		for _, a := range arcs {
+			if a.Next < 0 || int(a.Next) >= f.NumStates() {
+				return fmt.Errorf("wfst: arc from %d targets invalid state %d", s, a.Next)
+			}
+			if a.ILabel < 0 || a.ILabel > maxILabel {
+				return fmt.Errorf("wfst: arc from %d has bad ilabel %d", s, a.ILabel)
+			}
+			if a.OLabel < 0 || a.OLabel > maxOLabel {
+				return fmt.Errorf("wfst: arc from %d has bad olabel %d", s, a.OLabel)
+			}
+			if math.IsNaN(a.Weight) || math.IsInf(a.Weight, 0) {
+				return fmt.Errorf("wfst: arc from %d has non-finite weight", s)
+			}
+		}
+		if f.IsFinal(int32(s)) {
+			anyFinal = true
+		}
+	}
+	if !anyFinal {
+		return fmt.Errorf("wfst: no final states")
+	}
+	return nil
+}

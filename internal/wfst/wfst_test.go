@@ -1,0 +1,210 @@
+package wfst
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/speech"
+)
+
+func TestLabelConversions(t *testing.T) {
+	if ILabelOf(0) != 1 || SenoneOf(1) != 0 || SenoneOf(Epsilon) != -1 {
+		t.Fatalf("ilabel mapping broken")
+	}
+	if OLabelOf(3) != 4 || WordOf(4) != 3 || WordOf(Epsilon) != -1 {
+		t.Fatalf("olabel mapping broken")
+	}
+}
+
+func TestFSTBasics(t *testing.T) {
+	f := New(2, 0)
+	if f.NumStates() != 2 {
+		t.Fatalf("states = %d", f.NumStates())
+	}
+	s := f.AddState()
+	if s != 2 || f.NumStates() != 3 {
+		t.Fatalf("AddState = %d", s)
+	}
+	f.AddArc(0, Arc{ILabel: 1, Next: 1, Weight: 0.5})
+	f.AddArc(0, Arc{Next: 2})
+	if f.NumArcs() != 2 || len(f.Arcs(0)) != 2 {
+		t.Fatalf("arcs wrong")
+	}
+	if f.IsFinal(1) {
+		t.Fatalf("state 1 should not be final")
+	}
+	f.SetFinal(1, 0.25)
+	if !f.IsFinal(1) || f.FinalCost(1) != 0.25 {
+		t.Fatalf("final handling broken")
+	}
+	if !math.IsInf(f.FinalCost(2), 1) {
+		t.Fatalf("non-final cost should be +Inf")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := New(2, 0)
+	f.SetFinal(1, 0)
+	f.AddArc(0, Arc{ILabel: 1, Next: 1})
+	if err := f.Validate(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	// bad target
+	f.AddArc(0, Arc{ILabel: 1, Next: 99})
+	if f.Validate(10, 10) == nil {
+		t.Fatalf("invalid target accepted")
+	}
+	// no finals
+	g := New(1, 0)
+	if g.Validate(1, 1) == nil {
+		t.Fatalf("FST with no finals accepted")
+	}
+	// NaN weight
+	h := New(2, 0)
+	h.SetFinal(1, 0)
+	h.AddArc(0, Arc{ILabel: 1, Next: 1, Weight: math.NaN()})
+	if h.Validate(10, 10) == nil {
+		t.Fatalf("NaN weight accepted")
+	}
+}
+
+func buildTestWorld(t *testing.T) *speech.World {
+	t.Helper()
+	cfg := speech.DefaultConfig()
+	cfg.NumPhones = 6
+	cfg.Vocab = 8
+	cfg.FeatDim = 5
+	w, err := speech.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCompileStructure(t *testing.T) {
+	w := buildTestWorld(t)
+	f := Compile(w)
+	maxI := int32(w.NumSenones())
+	maxO := int32(w.Config.Vocab)
+	if err := f.Validate(maxI, maxO); err != nil {
+		t.Fatal(err)
+	}
+	// hubs: one per history (V+1), all final
+	finals := 0
+	for s := int32(0); s < int32(f.NumStates()); s++ {
+		if f.IsFinal(s) {
+			finals++
+		}
+	}
+	if finals != w.Config.Vocab+1 {
+		t.Fatalf("finals = %d, want %d", finals, w.Config.Vocab+1)
+	}
+	// the start hub must fan out to every word with the LM cost and
+	// the word's output label
+	start := f.Arcs(f.Start)
+	if len(start) != w.Config.Vocab {
+		t.Fatalf("start fanout = %d, want %d", len(start), w.Config.Vocab)
+	}
+	seenWord := map[int]bool{}
+	for _, a := range start {
+		if a.ILabel != Epsilon {
+			t.Fatalf("entry arcs must be non-emitting")
+		}
+		word := WordOf(a.OLabel)
+		if word < 0 {
+			t.Fatalf("entry arc missing word label")
+		}
+		seenWord[word] = true
+		wantCost := w.LM.Cost(w.LM.Start(), word)
+		if math.Abs(a.Weight-wantCost) > 1e-12 {
+			t.Fatalf("entry arc weight %v, want LM cost %v", a.Weight, wantCost)
+		}
+	}
+	if len(seenWord) != w.Config.Vocab {
+		t.Fatalf("words reachable from start: %d", len(seenWord))
+	}
+}
+
+func TestCompileChainSemantics(t *testing.T) {
+	w := buildTestWorld(t)
+	f := Compile(w)
+	// follow word 0 from the start hub: its chain must emit exactly
+	// the senone sequence of the word's phones, each with a self-loop
+	var entry Arc
+	for _, a := range f.Arcs(f.Start) {
+		if WordOf(a.OLabel) == 0 {
+			entry = a
+			break
+		}
+	}
+	var wantSenones []int
+	for _, phone := range w.Lexicon[0] {
+		for s := 0; s < speech.StatesPerPhone; s++ {
+			wantSenones = append(wantSenones, speech.SenoneID(phone, s))
+		}
+	}
+	state := entry.Next
+	for i, want := range wantSenones {
+		arcs := f.Arcs(state)
+		var fwd *Arc
+		for j := range arcs {
+			if arcs[j].ILabel != Epsilon && arcs[j].Next != state {
+				fwd = &arcs[j]
+			}
+		}
+		if fwd == nil {
+			t.Fatalf("chain state %d has no forward emitting arc", i)
+		}
+		if SenoneOf(fwd.ILabel) != want {
+			t.Fatalf("chain pos %d emits senone %d, want %d", i, SenoneOf(fwd.ILabel), want)
+		}
+		next := fwd.Next
+		// the destination must have a self-loop on the same senone
+		// (except when it is the final epsilon hop state)
+		var hasLoop bool
+		for _, a := range f.Arcs(next) {
+			if a.Next == next && SenoneOf(a.ILabel) == want {
+				hasLoop = true
+			}
+		}
+		if !hasLoop {
+			t.Fatalf("chain pos %d destination lacks self-loop", i)
+		}
+		state = next
+	}
+	// after the last senone, an epsilon arc must lead to hub[word 0]
+	var exit *Arc
+	for _, a := range f.Arcs(state) {
+		if a.ILabel == Epsilon {
+			aa := a
+			exit = &aa
+		}
+	}
+	if exit == nil {
+		t.Fatalf("chain does not exit to a hub")
+	}
+	if !f.IsFinal(exit.Next) {
+		t.Fatalf("chain exit should reach a (final) hub state")
+	}
+}
+
+func TestCompileDurationCosts(t *testing.T) {
+	w := buildTestWorld(t)
+	f := Compile(w)
+	loop := -math.Log(w.Config.LoopProb)
+	fwd := -math.Log(1 - w.Config.LoopProb)
+	for s := int32(0); s < int32(f.NumStates()); s++ {
+		for _, a := range f.Arcs(s) {
+			if a.ILabel == Epsilon {
+				continue
+			}
+			if a.Next == s { // self-loop
+				if math.Abs(a.Weight-loop) > 1e-12 {
+					t.Fatalf("self-loop weight %v, want %v", a.Weight, loop)
+				}
+			} else if math.Abs(a.Weight-fwd) > 1e-12 {
+				t.Fatalf("forward weight %v, want %v", a.Weight, fwd)
+			}
+		}
+	}
+}
