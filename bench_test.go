@@ -12,7 +12,9 @@ package repro_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/accel/dnnsim"
 	"repro/internal/asr"
@@ -216,7 +218,7 @@ func BenchmarkTailLatency(b *testing.B) {
 	}
 }
 
-// ---- ablations (DESIGN.md §6) -------------------------------------------
+// ---- ablations (DESIGN.md §7) -------------------------------------------
 
 // BenchmarkAblationHeapVsTree compares the paper's single-cycle
 // Max-Heap replacement against the rejected 3-cycle comparator tree:
@@ -309,6 +311,82 @@ func BenchmarkAblationBeamVsNBest(b *testing.B) {
 	}
 	b.ReportMetric(beamTail, "beam-max/p50")
 	b.ReportMetric(nbestTail, "nbest-max/p50")
+}
+
+// ---- engine: parallel decode fan-out -------------------------------------
+
+func benchMatrixConfigs(sys *asr.System) []asr.PipelineConfig {
+	return []asr.PipelineConfig{
+		sys.Preset(asr.MitigationNone, 0),
+		sys.Preset(asr.MitigationNone, 90),
+		sys.Preset(asr.MitigationBeam, 70),
+		sys.Preset(asr.MitigationNBest, 90),
+	}
+}
+
+// BenchmarkRunMatrixSerial is the single-goroutine reference sweep:
+// the engine at pool width 1 (utterances and configs strictly in
+// order). Results are identical to the parallel sweep by construction.
+func BenchmarkRunMatrixSerial(b *testing.B) {
+	sys := benchSystem(b)
+	cfgs := benchMatrixConfigs(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunMatrixEngine(cfgs, asr.SerialEngine()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMatrixParallel runs the same sweep with one worker per
+// core and reports the measured wall-clock speedup over the serial
+// reference ("parallel-speedup", ~1.0 on a single-core machine, and
+// scaling with cores since utterances decode independently).
+func BenchmarkRunMatrixParallel(b *testing.B) {
+	sys := benchSystem(b)
+	cfgs := benchMatrixConfigs(sys)
+	// warm the shared score/quality caches so both timings measure
+	// decode work, not one-time DNN inference
+	if _, err := sys.RunMatrixEngine(cfgs, asr.SerialEngine()); err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := sys.RunMatrixEngine(cfgs, asr.SerialEngine()); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(t0).Seconds()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunMatrixEngine(cfgs, asr.EngineConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parallel := b.Elapsed().Seconds() / float64(b.N)
+	if parallel > 0 {
+		b.ReportMetric(serial/parallel, "parallel-speedup")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkSessionDecode drives one utterance frame-by-frame through
+// the session API — the cost of the incremental path relative to
+// BenchmarkViterbiDecodeUtterance's batch loop (they share all code).
+func BenchmarkSessionDecode(b *testing.B) {
+	sys := benchSystem(b)
+	scores := sys.Scores(90)[0]
+	cfg := decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sys.Decoder.Start(cfg)
+		for _, f := range scores {
+			if err := s.PushFrame(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Finish()
+	}
 }
 
 // ---- micro-benchmarks of the hot paths ----------------------------------

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, and the full test suite under
+# the race detector. Run before every commit; CI runs the same steps.
+set -e
+
+cd "$(dirname "$0")"
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -6,13 +6,16 @@
 //
 //	asrdecode [-scale small] [-model models/small-prune90.model]
 //	          [-store unbounded|nbest|accurate] [-beam 15] [-n 0]
+//	          [-workers 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/asr"
 	"repro/internal/decoder"
@@ -32,6 +35,7 @@ func main() {
 	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
 	lazy := flag.Bool("lazy", false, "use on-the-fly WFST composition instead of the precompiled graph")
 	verbose := flag.Bool("v", false, "print every transcript")
+	workersFlag := flag.Int("workers", 0, "concurrent utterance decodes (0 = one per core, 1 = serial)")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -99,23 +103,63 @@ func main() {
 		log.Fatalf("unknown store %q", *storeKind)
 	}
 
+	// Engine-style fan-out: utterances are independent, so score and
+	// decode them across a worker pool. Each worker clones the network
+	// (inference reuses per-network scratch buffers) and opens one
+	// decode session per utterance; the decoder and graph are shared
+	// read-only. Outcomes land per index and aggregate in order, so the
+	// printed transcripts and WER match a serial run exactly.
+	type outcome struct {
+		words []int
+		stats decoder.Stats
+	}
+	outcomes := make([]outcome, len(testSet))
+	nworkers := *workersFlag
+	if nworkers <= 0 {
+		nworkers = runtime.GOMAXPROCS(0)
+	}
+	if nworkers > len(testSet) {
+		nworkers = len(testSet)
+	}
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := net.Clone()
+			for i := range work {
+				u := testSet[i]
+				spliced := speech.SpliceAll(u.Frames, scale.Context)
+				scores := make([][]float64, len(spliced))
+				for t, in := range spliced {
+					vec := make([]float64, world.NumSenones())
+					local.LogPosteriors(vec, in)
+					scores[t] = vec
+				}
+				r := dec.Decode(scores, decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory})
+				outcomes[i] = outcome{words: r.Words, stats: r.Stats}
+			}
+		}()
+	}
+	for i := range testSet {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
 	var corpus wer.Corpus
 	var hypos int64
 	var frames int
 	for i, u := range testSet {
-		spliced := speech.SpliceAll(u.Frames, scale.Context)
-		scores := make([][]float64, len(spliced))
-		for t, in := range spliced {
-			vec := make([]float64, world.NumSenones())
-			net.LogPosteriors(vec, in)
-			scores[t] = vec
-		}
-		r := dec.Decode(scores, decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory})
-		corpus.Add(u.Words, r.Words)
-		hypos += r.Stats.Hypotheses
-		frames += r.Stats.Frames
+		corpus.Add(u.Words, outcomes[i].words)
+		hypos += outcomes[i].stats.Hypotheses
+		frames += outcomes[i].stats.Frames
 		if *verbose {
-			fmt.Printf("utt %02d  ref %s\n        hyp %s\n", i, words(u.Words), words(r.Words))
+			fmt.Printf("utt %02d  ref %s\n        hyp %s\n", i, words(u.Words), words(outcomes[i].words))
 		}
 	}
 	fmt.Printf("utterances: %d   frames: %d\n", len(testSet), frames)

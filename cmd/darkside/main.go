@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	darkside [-scale tiny|small|paper] [-only fig11,fig12,...]
+//	darkside [-scale tiny|small|paper] [-only fig11,fig12,...] [-workers n]
 //
-// With no -only flag, all experiments run in paper order.
+// With no -only flag, all experiments run in paper order. Decoding
+// fans out over the engine's worker pools (-workers 1 forces the
+// serial reference path; the output is identical either way).
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +29,7 @@ func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig3,fig11); empty = all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := flag.Int("workers", 0, "engine worker-pool width per level (0 = one per core, 1 = serial)")
 	flag.Parse()
 
 	var scale asr.Scale
@@ -55,9 +59,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("system ready in %.1fs: %d senones, graph %d states / %d arcs",
+	// The engine fans utterances and matrix configs over worker pools;
+	// results are identical at any width (index-ordered aggregation).
+	sys.Engine = asr.EngineConfig{UttWorkers: *workers, CfgWorkers: *workers}
+	poolWidth := *workers
+	if poolWidth <= 0 {
+		poolWidth = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("system ready in %.1fs: %d senones, graph %d states / %d arcs, %d decode workers",
 		time.Since(start).Seconds(), sys.World.NumSenones(),
-		sys.Graph.NumStates(), sys.Graph.NumArcs())
+		sys.Graph.NumStates(), sys.Graph.NumArcs(), poolWidth)
 
 	type gen struct {
 		id string
@@ -80,7 +91,7 @@ func main() {
 		{"fig12", func() (*experiments.Table, error) { return experiments.Fig12(sys) }},
 		{"tail", func() (*experiments.Table, error) { return experiments.TailLatency(sys) }},
 		{"headline", func() (*experiments.Table, error) { return experiments.Headline(sys) }},
-		// extensions beyond the paper's evaluation (see DESIGN.md §6)
+		// extensions beyond the paper's evaluation (see DESIGN.md §7)
 		{"quant", func() (*experiments.Table, error) { return experiments.QuantTable(sys) }},
 		{"gmm", func() (*experiments.Table, error) { return experiments.GMMTable(sys) }},
 		{"maxactive", func() (*experiments.Table, error) { return experiments.MaxActiveTable(sys) }},

@@ -1,0 +1,203 @@
+// Engine layer: concurrent execution of the experiment pipeline.
+//
+// The decode of one utterance is a decoder.Session — mutable state
+// (hypothesis store, token map, accelerator probe) owned by a single
+// goroutine — while the System's Decoder, graph, models, and cached
+// scores are shared read-only. That split lets Run fan the test set
+// out over a worker pool and RunMatrix fan independent configurations
+// out on top, with results aggregated in index order so the output is
+// bit-for-bit identical to a serial run.
+package asr
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/accel/dnnsim"
+	"repro/internal/accel/viterbisim"
+	"repro/internal/decoder"
+	"repro/internal/energy"
+	"repro/internal/wer"
+)
+
+// EngineConfig sets the worker-pool widths of the engine. The zero
+// value selects one worker per core at both levels.
+type EngineConfig struct {
+	// UttWorkers is the number of concurrent utterance decodes within
+	// one Run (<=0: GOMAXPROCS).
+	UttWorkers int
+	// CfgWorkers is the number of configurations RunMatrix evaluates
+	// concurrently (<=0: GOMAXPROCS).
+	CfgWorkers int
+}
+
+// SerialEngine is the single-goroutine reference configuration; the
+// determinism tests compare parallel runs against it.
+func SerialEngine() EngineConfig { return EngineConfig{UttWorkers: 1, CfgWorkers: 1} }
+
+// workers clamps a requested pool width to [1, jobs].
+func workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachIndex runs fn(i) for i in [0, n) across a pool of the given
+// width. fn must confine its writes to state owned by index i.
+func forEachIndex(n, poolSize int, fn func(i int)) {
+	w := workers(poolSize, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// ForEachUtt runs fn(i) for every test-set utterance index across the
+// engine's utterance worker pool. fn must only write state owned by
+// index i; the decoder, graph, and cached scores are shared read-only.
+// Experiment generators use this to parallelize bespoke decode sweeps
+// with the same ownership contract as Run.
+func (s *System) ForEachUtt(eng EngineConfig, fn func(i int)) {
+	forEachIndex(len(s.TestSet), eng.UttWorkers, fn)
+}
+
+// uttOutcome is one utterance's decode output, captured per index so
+// aggregation can replay the serial order exactly.
+type uttOutcome struct {
+	words []int
+	stats decoder.Stats
+	rep   viterbisim.Report
+}
+
+// RunEngine decodes the whole test set under cfg with both accelerator
+// simulators attached, fanning utterances over the engine's worker
+// pool, and returns the aggregated result. Each worker decodes through
+// its own decoder.Session with a per-utterance viterbisim instance;
+// outcomes land in an index-ordered slice and are aggregated serially,
+// so the result is identical to SerialEngine regardless of pool width.
+func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg viterbisim.Config, eng EngineConfig) (*PipelineResult, error) {
+	net, ok := s.Models[cfg.Pruning]
+	if !ok {
+		return nil, fmt.Errorf("asr: no model pruned at %d%%", cfg.Pruning)
+	}
+	if cfg.Mitigation == MitigationNBest {
+		vitCfg.NBestTable = true
+	}
+
+	dnnReport, err := dnnsim.Analyze(net, dnnCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PipelineResult{Config: cfg, DNNReport: dnnReport}
+	res.Top1, res.Top5, res.Confidence = s.Quality(cfg.Pruning)
+
+	scores := s.Scores(cfg.Pruning)
+	outcomes := make([]uttOutcome, len(s.TestSet))
+	s.ForEachUtt(eng, func(i int) {
+		sim := viterbisim.New(vitCfg)
+		dcfg := decoder.Config{
+			Beam:          cfg.Beam,
+			AcousticScale: 1,
+			NewStore:      cfg.storeFactory(),
+			Probe:         sim,
+		}
+		r := s.Decoder.Decode(scores[i], dcfg)
+		outcomes[i] = uttOutcome{words: r.Words, stats: r.Stats, rep: sim.Finish(r.Stats)}
+	})
+
+	// Index-ordered aggregation: same floating-point summation order as
+	// a serial loop over the test set.
+	var corpus wer.Corpus
+	for i, u := range s.TestSet {
+		o := &outcomes[i]
+		corpus.Add(u.Words, o.words)
+
+		res.ViterbiSeconds += o.rep.Seconds
+		res.ViterbiEnergyJ += o.rep.Energy.TotalJ()
+		res.UttSeconds = append(res.UttSeconds, o.rep.Seconds)
+
+		res.Frames += o.stats.Frames
+		res.Explored += o.stats.Hypotheses
+		res.MeanActive += o.stats.MeanActive()
+		res.Overflows += o.stats.Store.Overflows
+		res.Collisions += o.stats.Store.Collisions
+	}
+	if len(s.TestSet) > 0 {
+		res.MeanActive /= float64(len(s.TestSet))
+	}
+	if res.Frames > 0 {
+		res.ExploredPerFrame = float64(res.Explored) / float64(res.Frames)
+	}
+	res.WER = corpus.Rate()
+
+	frames := float64(res.Frames)
+	res.DNNSeconds = frames * dnnReport.SecondsPerFrame()
+	perFrame := dnnReport.EnergyPerFrame()
+	res.DNNEnergyJ = frames * perFrame.TotalJ()
+
+	// The two accelerators communicate through a shared buffer in
+	// system memory (Section IV): the DNN accelerator writes each
+	// frame's acoustic scores, the Viterbi accelerator reads them
+	// back. Charge one DRAM word transfer per score each way, half to
+	// each side.
+	words := frames * float64(s.World.NumSenones())
+	sharedJ := 2 * words * energy.Joules(energy.DRAMWordPJ)
+	res.DNNEnergyJ += sharedJ / 2
+	res.ViterbiEnergyJ += sharedJ / 2
+	// latency: line-granular burst transfers overlap with compute; the
+	// residual cost is one DRAM line fill per frame on the reader side.
+	res.ViterbiSeconds += frames * float64(vitCfg.DRAMLatency) / vitCfg.FrequencyHz
+
+	if math.IsNaN(res.WER) {
+		return nil, fmt.Errorf("asr: WER is NaN for %s", cfg.Name)
+	}
+	return res, nil
+}
+
+// RunMatrixEngine evaluates the configurations with this scale's
+// accelerator parameters, fanning independent configs over the
+// engine's config worker pool (each of which fans utterances in turn).
+// Results keep the input order; on error the first failing config (in
+// input order) wins, matching the serial contract.
+func (s *System) RunMatrixEngine(cfgs []PipelineConfig, eng EngineConfig) ([]*PipelineResult, error) {
+	out := make([]*PipelineResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	forEachIndex(len(cfgs), eng.CfgWorkers, func(i int) {
+		out[i], errs[i] = s.RunEngine(cfgs[i], s.Scale.DNNConfig(), s.Scale.ViterbiConfig(), eng)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

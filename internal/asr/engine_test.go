@@ -1,0 +1,140 @@
+package asr
+
+import (
+	"math"
+	"testing"
+)
+
+// requireIdenticalResults asserts bit-for-bit equality of everything
+// the paper measures — the engine's determinism contract.
+func requireIdenticalResults(t *testing.T, serial, parallel *PipelineResult) {
+	t.Helper()
+	if serial.WER != parallel.WER {
+		t.Fatalf("%s: WER %v != %v", serial.Config.Name, parallel.WER, serial.WER)
+	}
+	if serial.Explored != parallel.Explored || serial.Frames != parallel.Frames {
+		t.Fatalf("%s: workload diverged: explored %d/%d frames %d/%d", serial.Config.Name,
+			parallel.Explored, serial.Explored, parallel.Frames, serial.Frames)
+	}
+	if serial.ExploredPerFrame != parallel.ExploredPerFrame || serial.MeanActive != parallel.MeanActive {
+		t.Fatalf("%s: per-frame workload diverged", serial.Config.Name)
+	}
+	if serial.Overflows != parallel.Overflows || serial.Collisions != parallel.Collisions {
+		t.Fatalf("%s: store stats diverged", serial.Config.Name)
+	}
+	if serial.ViterbiSeconds != parallel.ViterbiSeconds || serial.DNNSeconds != parallel.DNNSeconds {
+		t.Fatalf("%s: timing diverged: viterbi %v/%v dnn %v/%v", serial.Config.Name,
+			parallel.ViterbiSeconds, serial.ViterbiSeconds, parallel.DNNSeconds, serial.DNNSeconds)
+	}
+	if serial.ViterbiEnergyJ != parallel.ViterbiEnergyJ || serial.DNNEnergyJ != parallel.DNNEnergyJ {
+		t.Fatalf("%s: energy diverged", serial.Config.Name)
+	}
+	if serial.Top1 != parallel.Top1 || serial.Confidence != parallel.Confidence {
+		t.Fatalf("%s: quality diverged", serial.Config.Name)
+	}
+	if len(serial.UttSeconds) != len(parallel.UttSeconds) {
+		t.Fatalf("%s: UttSeconds length %d != %d", serial.Config.Name,
+			len(parallel.UttSeconds), len(serial.UttSeconds))
+	}
+	for i := range serial.UttSeconds {
+		if serial.UttSeconds[i] != parallel.UttSeconds[i] {
+			t.Fatalf("%s: utt %d seconds %v != %v (order must be preserved)",
+				serial.Config.Name, i, parallel.UttSeconds[i], serial.UttSeconds[i])
+		}
+	}
+}
+
+// TestParallelRunMatchesSerial pins the engine's core guarantee:
+// fanning utterances and configurations over worker pools changes
+// wall-clock only — WER, workload counters, per-utterance timing order
+// and energy are identical to a single-goroutine reference run.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	sys := tinySystem(t)
+	cfgs := []PipelineConfig{
+		sys.Preset(MitigationNone, 0),
+		sys.Preset(MitigationNone, 90),
+		sys.Preset(MitigationBeam, 70),
+		sys.Preset(MitigationNBest, 90),
+	}
+	serial, err := sys.RunMatrixEngine(cfgs, SerialEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sys.RunMatrixEngine(cfgs, EngineConfig{}) // one worker per core
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result count %d != %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if serial[i].Config.Name != parallel[i].Config.Name {
+			t.Fatalf("config order changed: %s != %s", parallel[i].Config.Name, serial[i].Config.Name)
+		}
+		requireIdenticalResults(t, serial[i], parallel[i])
+	}
+
+	// and the default Run path goes through the same engine
+	one, err := sys.Run(cfgs[0], sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, serial[0], one)
+}
+
+// TestRunMatrixParallelError pins the error contract: the first
+// failing configuration in input order wins, as in a serial sweep.
+func TestRunMatrixParallelError(t *testing.T) {
+	sys := tinySystem(t)
+	bad := sys.Preset(MitigationNone, 0)
+	bad.Pruning = 55
+	bad.Name = "Bogus-55"
+	if _, err := sys.RunMatrixEngine([]PipelineConfig{sys.Preset(MitigationNone, 0), bad}, EngineConfig{}); err == nil {
+		t.Fatalf("unknown pruning level accepted by parallel matrix")
+	}
+}
+
+// TestTailSecondsNearestRank pins the quantile at known points: with
+// 101 sorted samples 0..100, the nearest-rank index round(p*100) makes
+// p50/p95/p99 land exactly on 50/95/99.
+func TestTailSecondsNearestRank(t *testing.T) {
+	r := &PipelineResult{}
+	for v := 100; v >= 0; v-- { // unsorted on purpose
+		r.UttSeconds = append(r.UttSeconds, float64(v))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 0}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		if got := r.TailSeconds(tc.p); got != tc.want {
+			t.Fatalf("TailSeconds(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+
+	// rounding, not truncation: 4 samples at p=0.5 must pick index
+	// round(1.5)=2, where int(1.5)=1 used to land
+	r4 := &PipelineResult{UttSeconds: []float64{1, 2, 3, 4}}
+	if got := r4.TailSeconds(0.5); got != 3 {
+		t.Fatalf("TailSeconds(0.5) over 4 samples = %v, want 3 (nearest rank)", got)
+	}
+	if got := (&PipelineResult{}).TailSeconds(0.5); got != 0 {
+		t.Fatalf("empty TailSeconds = %v", got)
+	}
+	if math.IsNaN(r4.TailSeconds(1)) {
+		t.Fatalf("TailSeconds(1) NaN")
+	}
+}
+
+// TestForEachUttCoversAllIndices checks the fan-out helper visits every
+// utterance exactly once at any pool width.
+func TestForEachUttCoversAllIndices(t *testing.T) {
+	sys := tinySystem(t)
+	for _, eng := range []EngineConfig{SerialEngine(), {UttWorkers: 3}, {}} {
+		visits := make([]int32, len(sys.TestSet))
+		sys.ForEachUtt(eng, func(i int) { visits[i]++ })
+		for i, n := range visits {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", eng.UttWorkers, i, n)
+			}
+		}
+	}
+}

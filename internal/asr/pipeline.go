@@ -8,8 +8,6 @@ import (
 	"repro/internal/accel/dnnsim"
 	"repro/internal/accel/viterbisim"
 	"repro/internal/decoder"
-	"repro/internal/energy"
-	"repro/internal/wer"
 )
 
 // Mitigation selects how the system copes with the Viterbi workload
@@ -166,16 +164,24 @@ func (r *PipelineResult) TotalSeconds() float64 { return r.DNNSeconds + r.Viterb
 // TotalEnergyJ reports end-to-end energy.
 func (r *PipelineResult) TotalEnergyJ() float64 { return r.DNNEnergyJ + r.ViterbiEnergyJ }
 
-// TailSeconds reports the p-quantile (0..1) of per-utterance decode
-// time, normalized per second of speech... (raw seconds; callers
-// normalize). Used for the tail-latency analysis of Section II-C.
+// TailSeconds reports the p-quantile (0..1) of per-utterance Viterbi
+// decode time, in raw seconds; callers normalize per second of speech
+// where needed. Used for the tail-latency analysis of Section II-C.
+// The quantile is nearest-rank: the sorted sample at index
+// round(p*(n-1)), clamped to the valid range.
 func (r *PipelineResult) TailSeconds(p float64) float64 {
 	if len(r.UttSeconds) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), r.UttSeconds...)
 	sort.Float64s(s)
-	idx := int(p * float64(len(s)-1))
+	idx := int(math.Round(p * float64(len(s)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
 	return s[idx]
 }
 
@@ -197,91 +203,16 @@ func (c PipelineConfig) storeFactory() decoder.StoreFactory {
 }
 
 // Run decodes the whole test set under cfg with both accelerator
-// simulators attached and returns the aggregated result.
+// simulators attached and returns the aggregated result, using the
+// System's default engine concurrency (see RunEngine in engine.go).
 func (s *System) Run(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg viterbisim.Config) (*PipelineResult, error) {
-	net, ok := s.Models[cfg.Pruning]
-	if !ok {
-		return nil, fmt.Errorf("asr: no model pruned at %d%%", cfg.Pruning)
-	}
-	if cfg.Mitigation == MitigationNBest {
-		vitCfg.NBestTable = true
-	}
-
-	dnnReport, err := dnnsim.Analyze(net, dnnCfg)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &PipelineResult{Config: cfg, DNNReport: dnnReport}
-	res.Top1, res.Top5, res.Confidence = s.Quality(cfg.Pruning)
-
-	scores := s.Scores(cfg.Pruning)
-	var corpus wer.Corpus
-	for i, u := range s.TestSet {
-		sim := viterbisim.New(vitCfg)
-		dcfg := decoder.Config{
-			Beam:          cfg.Beam,
-			AcousticScale: 1,
-			NewStore:      cfg.storeFactory(),
-			Probe:         sim,
-		}
-		r := s.Decoder.Decode(scores[i], dcfg)
-		corpus.Add(u.Words, r.Words)
-
-		rep := sim.Finish(r.Stats)
-		res.ViterbiSeconds += rep.Seconds
-		res.ViterbiEnergyJ += rep.Energy.TotalJ()
-		res.UttSeconds = append(res.UttSeconds, rep.Seconds)
-
-		res.Frames += r.Stats.Frames
-		res.Explored += r.Stats.Hypotheses
-		res.MeanActive += r.Stats.MeanActive()
-		res.Overflows += r.Stats.Store.Overflows
-		res.Collisions += r.Stats.Store.Collisions
-	}
-	if len(s.TestSet) > 0 {
-		res.MeanActive /= float64(len(s.TestSet))
-	}
-	if res.Frames > 0 {
-		res.ExploredPerFrame = float64(res.Explored) / float64(res.Frames)
-	}
-	res.WER = corpus.Rate()
-
-	frames := float64(res.Frames)
-	res.DNNSeconds = frames * dnnReport.SecondsPerFrame()
-	perFrame := dnnReport.EnergyPerFrame()
-	res.DNNEnergyJ = frames * perFrame.TotalJ()
-
-	// The two accelerators communicate through a shared buffer in
-	// system memory (Section IV): the DNN accelerator writes each
-	// frame's acoustic scores, the Viterbi accelerator reads them
-	// back. Charge one DRAM word transfer per score each way, half to
-	// each side.
-	words := frames * float64(s.World.NumSenones())
-	sharedJ := 2 * words * energy.Joules(energy.DRAMWordPJ)
-	res.DNNEnergyJ += sharedJ / 2
-	res.ViterbiEnergyJ += sharedJ / 2
-	// latency: line-granular burst transfers overlap with compute; the
-	// residual cost is one DRAM line fill per frame on the reader side.
-	res.ViterbiSeconds += frames * float64(vitCfg.DRAMLatency) / vitCfg.FrequencyHz
-
-	if math.IsNaN(res.WER) {
-		return nil, fmt.Errorf("asr: WER is NaN for %s", cfg.Name)
-	}
-	return res, nil
+	return s.RunEngine(cfg, dnnCfg, vitCfg, s.Engine)
 }
 
 // RunMatrix evaluates a list of configurations with this scale's
 // accelerator parameters (the paper's Tables II and III at full scale,
-// proportionally provisioned versions below it).
+// proportionally provisioned versions below it), fanning independent
+// configurations across the System's default engine worker pool.
 func (s *System) RunMatrix(cfgs []PipelineConfig) ([]*PipelineResult, error) {
-	var out []*PipelineResult
-	for _, cfg := range cfgs {
-		r, err := s.Run(cfg, s.Scale.DNNConfig(), s.Scale.ViterbiConfig())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return s.RunMatrixEngine(cfgs, s.Engine)
 }

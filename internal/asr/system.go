@@ -23,12 +23,23 @@ import (
 var PruningLevels = []int{0, 70, 80, 90}
 
 // System holds everything needed to run the paper's experiments.
+//
+// After Build, everything reachable from the exported fields is
+// treated as shared read-only by the engine layer (engine.go): the
+// graph, the decoder, the models, and the test set may be used by any
+// number of concurrent decode sessions. The lazily-computed score and
+// quality caches are the only mutable state and are guarded by mu, so
+// Scores and Quality are safe to call from concurrent Run invocations.
 type System struct {
 	Scale    Scale
 	World    *speech.World
 	Graph    *wfst.FST
 	Decoder  *decoder.Decoder
 	Topology dnn.Topology
+
+	// Engine sets the default concurrency of Run and RunMatrix; the
+	// zero value means one worker per core at both levels.
+	Engine EngineConfig
 
 	// Models maps pruning percentage (0, 70, 80, 90) to a network.
 	Models       map[int]*dnn.Network
@@ -37,7 +48,9 @@ type System struct {
 	TestSet      []*speech.Utterance
 	TestSamples  []dnn.Sample
 
-	scores map[int][][][]float64 // pruning -> utterance -> frame -> senone log-post
+	mu      sync.Mutex            // guards scores and quality
+	scores  map[int][][][]float64 // pruning -> utterance -> frame -> senone log-post
+	quality map[int][3]float64    // pruning -> (top1, top5, confidence)
 }
 
 // Build synthesizes the world and corpus, trains the baseline network
@@ -58,6 +71,7 @@ func Build(scale Scale, levels []int) (*System, error) {
 		Models:       map[int]*dnn.Network{},
 		PruneReports: map[int]pruning.Report{},
 		scores:       map[int][][][]float64{},
+		quality:      map[int][3]float64{},
 	}
 
 	trainSet := world.SynthesizeSet(scale.TrainUtts, scale.WordsPerUtt, 1001)
@@ -105,8 +119,11 @@ func (s *System) Levels() []int {
 
 // Scores returns (computing and caching on first use) the per-frame
 // acoustic log-posteriors of every test utterance under the model at
-// the given pruning level.
+// the given pruning level. Safe for concurrent callers; the first one
+// computes while the rest wait, and the returned slices are read-only.
 func (s *System) Scores(level int) [][][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if sc, ok := s.scores[level]; ok {
 		return sc
 	}
@@ -154,9 +171,22 @@ func (s *System) Scores(level int) [][][]float64 {
 	return all
 }
 
-// Quality evaluates frame-level model quality on the test samples.
+// Quality evaluates (once, caching) frame-level model quality on the
+// test samples. The lock also serializes dnn.Evaluate, which reuses
+// the network's scratch activations, so concurrent Run invocations at
+// the same pruning level cannot race on them.
 func (s *System) Quality(level int) (top1, top5, confidence float64) {
-	return dnn.Evaluate(s.Models[level], s.TestSamples)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.quality[level]; ok {
+		return q[0], q[1], q[2]
+	}
+	if s.quality == nil {
+		s.quality = map[int][3]float64{}
+	}
+	top1, top5, confidence = dnn.Evaluate(s.Models[level], s.TestSamples)
+	s.quality[level] = [3]float64{top1, top5, confidence}
+	return top1, top5, confidence
 }
 
 // TotalTestFrames reports the number of acoustic frames in the test

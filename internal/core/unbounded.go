@@ -19,6 +19,7 @@ type Unbounded[P any] struct {
 	direct   []dmEntry[P]
 	backup   []dmEntry[P] // chained; index 0 unused (0 = nil link)
 	overflow map[uint64]*ovEntry[P]
+	ovOrder  []uint64 // overflow keys in insertion order (deterministic readout)
 
 	count int
 	stats Stats
@@ -85,6 +86,7 @@ func (t *Unbounded[P]) Reset() {
 	t.backup = t.backup[:1]
 	if len(t.overflow) > 0 {
 		t.overflow = map[uint64]*ovEntry[P]{}
+		t.ovOrder = t.ovOrder[:0]
 	}
 	t.count = 0
 }
@@ -155,6 +157,7 @@ func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
 		return Recombined
 	}
 	t.overflow[key] = &ovEntry[P]{cost: cost, payload: payload}
+	t.ovOrder = append(t.ovOrder, key)
 	t.count++
 	t.stats.Stored++
 	return Inserted
@@ -176,7 +179,8 @@ func (t *Unbounded[P]) Each(fn func(key uint64, cost float64, payload P)) {
 		t.stats.Cycles++
 		fn(t.backup[i].key, t.backup[i].cost, t.backup[i].payload)
 	}
-	for k, e := range t.overflow {
+	for _, k := range t.ovOrder {
+		e := t.overflow[k]
 		t.stats.Cycles += int64(t.dramPenalty)
 		t.stats.Overflows++
 		fn(k, e.cost, e.payload)

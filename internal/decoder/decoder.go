@@ -7,7 +7,6 @@
 package decoder
 
 import (
-	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -135,7 +134,9 @@ type Result struct {
 
 // Decoder holds immutable decode-time structures for one graph —
 // either a precompiled wfst.FST or an on-the-fly wfst.Lazy
-// composition.
+// composition. A Decoder is read-only after New and safe for any
+// number of concurrent Sessions; the mutable state of a decode lives
+// in the Session (see session.go for the full ownership contract).
 type Decoder struct {
 	fst     wfst.Graph
 	arcBase []int64 // cumulative arc index per state (eager graphs only)
@@ -186,113 +187,48 @@ func (d *Decoder) NumArcs() int {
 }
 
 // Decode runs Viterbi beam search over the per-frame acoustic
-// log-posterior scores (scores[t][senone], values <= 0).
+// log-posterior scores (scores[t][senone], values <= 0). It is a thin
+// batch loop over a Session.
 func (d *Decoder) Decode(scores [][]float64, cfg Config) Result {
-	if cfg.AcousticScale == 0 {
-		cfg.AcousticScale = 1
-	}
-	newStore := cfg.NewStore
-	if newStore == nil {
-		newStore = func() core.Store[*Token] { return core.NewUnbounded[*Token](0, 0, 0) }
-	}
-	store := newStore()
-
-	res := Result{}
-	cur := map[int32]*Token{d.fst.StartState(): {Cost: 0}}
-
-	var prevCycles int64
+	s := d.Start(cfg)
 	for t := range scores {
-		fa := FrameActivity{}
-
-		d.epsilonClosure(cur, &fa, cfg)
-		d.expandFrame(cur, scores[t], store, &fa, cfg)
-
-		// Harvest the store into the next frame's token map.
-		next := make(map[int32]*Token, store.Len())
-		store.Each(func(key uint64, cost float64, tok *Token) {
-			tok.Cost = cost // store may have recombined
-			next[int32(key)] = tok
-		})
-		cur = next
-
-		cycles := store.Stats().Cycles
-		fa.StoreCycles = cycles - prevCycles
-		prevCycles = cycles
-
-		res.Stats.Frames++
-		res.Stats.ArcsEvaluated += int64(fa.EmitArcs)
-		res.Stats.Hypotheses += int64(fa.Inserts)
-		res.Stats.EpsExpansions += int64(fa.EpsArcs)
-		res.Stats.SumActive += int64(fa.Active)
-		if fa.Active > res.Stats.MaxActive {
-			res.Stats.MaxActive = fa.Active
-		}
-		if cfg.RecordPerFrame {
-			res.Frames = append(res.Frames, fa)
-		}
-		if cfg.Probe != nil {
-			cfg.Probe.FrameDone()
-		}
-		if len(cur) == 0 {
+		s.PushFrame(scores[t])
+		if s.Active() == 0 {
 			break // beam collapsed; no surviving hypotheses
 		}
 	}
-
-	// Final epsilon closure, then collect every surviving final-state
-	// hypothesis (the n-best list) and pick the best.
-	var fa FrameActivity
-	d.epsilonClosure(cur, &fa, cfg)
-	bestCost := math.Inf(1)
-	var bestTok *Token
-	for s, tok := range cur {
-		if !d.fst.IsFinal(s) {
-			continue
-		}
-		c := tok.Cost + d.fst.FinalCost(s)
-		res.Finals = append(res.Finals, Hypothesis{Words: tok.Words.Decoded(), Cost: c})
-		if c < bestCost {
-			bestCost = c
-			bestTok = tok
-		}
-	}
-	if bestTok != nil {
-		res.OK = true
-		res.Cost = bestCost
-		res.Words = bestTok.Words.Decoded()
-	}
-	res.Stats.Store = store.Stats()
-	return res
+	return s.Finish()
 }
 
 // maxActiveLimit returns the cost threshold that keeps only the n
 // cheapest tokens (histogram pruning's partial sort).
-func maxActiveLimit(cur map[int32]*Token, n int) float64 {
-	costs := make([]float64, 0, len(cur))
-	for _, tok := range cur {
+func maxActiveLimit(cur *tokenMap, n int) float64 {
+	costs := make([]float64, 0, cur.len())
+	cur.each(func(_ int32, tok *Token) {
 		costs = append(costs, tok.Cost)
-	}
+	})
 	sort.Float64s(costs)
 	return costs[n-1]
 }
 
 // epsilonClosure relaxes non-emitting arcs until costs stabilize.
-// Costs only decrease, so a work-queue relaxation terminates.
-func (d *Decoder) epsilonClosure(cur map[int32]*Token, fa *FrameActivity, cfg Config) {
-	queue := make([]int32, 0, len(cur))
-	for s := range cur {
-		queue = append(queue, s)
-	}
+// Costs only decrease, so a work-queue relaxation terminates. The
+// queue is seeded in the token map's insertion order, keeping the
+// relaxation — and the EpsArcs count it accumulates — deterministic.
+func (d *Decoder) epsilonClosure(cur *tokenMap, fa *FrameActivity, cfg Config) {
+	queue := make([]int32, 0, cur.len())
+	queue = append(queue, cur.states...)
 	for len(queue) > 0 {
 		s := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		tok := cur[s]
+		tok, _ := cur.get(s)
 		for _, a := range d.fst.Arcs(s) {
 			if a.ILabel != wfst.Epsilon {
 				continue
 			}
 			fa.EpsArcs++
 			cost := tok.Cost + a.Weight
-			exist, ok := cur[a.Next]
+			exist, ok := cur.get(a.Next)
 			if ok && exist.Cost <= cost {
 				continue
 			}
@@ -300,7 +236,7 @@ func (d *Decoder) epsilonClosure(cur map[int32]*Token, fa *FrameActivity, cfg Co
 			if a.OLabel != wfst.Epsilon {
 				words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
 			}
-			cur[a.Next] = &Token{Cost: cost, Words: words}
+			cur.set(a.Next, &Token{Cost: cost, Words: words})
 			queue = append(queue, a.Next)
 		}
 	}

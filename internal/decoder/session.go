@@ -1,0 +1,225 @@
+package decoder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/wfst"
+)
+
+// Session is one in-flight decode: it owns the mutable search state —
+// the hypothesis store, the live token map, and (via Config.Probe) the
+// accelerator probe — while sharing the immutable Decoder and graph.
+// Both the batch Decode and the incremental Stream are thin layers
+// over a Session.
+//
+// Goroutine-safety contract (the engine layer relies on this):
+//
+//   - A Decoder and an eager wfst.FST are read-only after construction
+//     and may be shared by any number of concurrent Sessions. A lazy
+//     wfst.Lazy graph memoizes arcs internally under its own lock and
+//     is likewise safe to share.
+//   - A Session, its store, and its probe are owned by one decode and
+//     must only be used from a single goroutine at a time.
+//
+// Running one Session per utterance across a worker pool is the
+// intended parallel deployment; see internal/asr's engine.
+type Session struct {
+	d     *Decoder
+	cfg   Config
+	store core.Store[*Token]
+	cur   *tokenMap
+	res   Result
+
+	prevCycles int64
+	finished   bool
+}
+
+// Start opens a decode session. Frames are fed with PushFrame and the
+// final Result is collected with Finish.
+func (d *Decoder) Start(cfg Config) *Session {
+	if cfg.AcousticScale == 0 {
+		cfg.AcousticScale = 1
+	}
+	newStore := cfg.NewStore
+	if newStore == nil {
+		newStore = func() core.Store[*Token] { return core.NewUnbounded[*Token](0, 0, 0) }
+	}
+	cur := newTokenMap(1)
+	cur.set(d.fst.StartState(), &Token{Cost: 0})
+	return &Session{
+		d:     d,
+		cfg:   cfg,
+		store: newStore(),
+		cur:   cur,
+	}
+}
+
+// PushFrame processes one frame of acoustic log-posteriors
+// (frame[senone], values <= 0).
+func (s *Session) PushFrame(frame []float64) error {
+	if s.finished {
+		return fmt.Errorf("decoder: PushFrame after Finish")
+	}
+	fa := FrameActivity{}
+	s.d.epsilonClosure(s.cur, &fa, s.cfg)
+	s.d.expandFrame(s.cur, frame, s.store, &fa, s.cfg)
+
+	// Harvest the store into the next frame's token map, in the
+	// store's own (deterministic) readout order.
+	next := newTokenMap(s.store.Len())
+	s.store.Each(func(key uint64, cost float64, tok *Token) {
+		tok.Cost = cost // store may have recombined
+		next.set(int32(key), tok)
+	})
+	s.cur = next
+
+	cycles := s.store.Stats().Cycles
+	fa.StoreCycles = cycles - s.prevCycles
+	s.prevCycles = cycles
+
+	s.res.Stats.Frames++
+	s.res.Stats.ArcsEvaluated += int64(fa.EmitArcs)
+	s.res.Stats.Hypotheses += int64(fa.Inserts)
+	s.res.Stats.EpsExpansions += int64(fa.EpsArcs)
+	s.res.Stats.SumActive += int64(fa.Active)
+	if fa.Active > s.res.Stats.MaxActive {
+		s.res.Stats.MaxActive = fa.Active
+	}
+	if s.cfg.RecordPerFrame {
+		s.res.Frames = append(s.res.Frames, fa)
+	}
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.FrameDone()
+	}
+	return nil
+}
+
+// Active reports the number of live hypotheses; zero means the beam
+// has collapsed and no further frame can revive the search.
+func (s *Session) Active() int { return s.cur.len() }
+
+// Partial returns the current best hypothesis without ending the
+// session — the live-captioning readout. It prefers final states but
+// falls back to the best live token.
+func (s *Session) Partial() ([]int, bool) {
+	// work on a copy: closure mutates, and the session must continue
+	snapshot := s.cur.clone()
+	var fa FrameActivity
+	s.d.epsilonClosure(snapshot, &fa, s.cfg)
+	bestCost := math.Inf(1)
+	var best *Token
+	anyFinal := false
+	snapshot.each(func(st int32, tok *Token) {
+		final := s.d.fst.IsFinal(st)
+		c := tok.Cost
+		if final {
+			c += s.d.fst.FinalCost(st)
+		}
+		switch {
+		case final && !anyFinal:
+			anyFinal = true
+			bestCost, best = c, tok
+		case final == anyFinal && c < bestCost:
+			bestCost, best = c, tok
+		}
+	})
+	if best == nil {
+		return nil, false
+	}
+	return best.Words.Decoded(), anyFinal
+}
+
+// Finish ends the session and returns the full result; further
+// PushFrame calls fail. Finish is idempotent.
+func (s *Session) Finish() Result {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
+	// Final epsilon closure, then collect every surviving final-state
+	// hypothesis (the n-best list) and pick the best.
+	var fa FrameActivity
+	s.d.epsilonClosure(s.cur, &fa, s.cfg)
+	bestCost := math.Inf(1)
+	var bestTok *Token
+	s.cur.each(func(st int32, tok *Token) {
+		if !s.d.fst.IsFinal(st) {
+			return
+		}
+		c := tok.Cost + s.d.fst.FinalCost(st)
+		s.res.Finals = append(s.res.Finals, Hypothesis{Words: tok.Words.Decoded(), Cost: c})
+		if c < bestCost {
+			bestCost = c
+			bestTok = tok
+		}
+	})
+	if bestTok != nil {
+		s.res.OK = true
+		s.res.Cost = bestCost
+		s.res.Words = bestTok.Words.Decoded()
+	}
+	s.res.Stats.Store = s.store.Stats()
+	return s.res
+}
+
+// expandFrame applies beam/max-active limits and expands emitting arcs
+// of every surviving token into the store.
+func (d *Decoder) expandFrame(cur *tokenMap, frame []float64, store core.Store[*Token], fa *FrameActivity, cfg Config) {
+	best := math.Inf(1)
+	cur.each(func(_ int32, tok *Token) {
+		if tok.Cost < best {
+			best = tok.Cost
+		}
+	})
+	limit := math.Inf(1)
+	if cfg.Beam > 0 {
+		limit = best + cfg.Beam
+	}
+	expandLimit := limit
+	if cfg.MaxActive > 0 && cur.len() > cfg.MaxActive {
+		if l := maxActiveLimit(cur, cfg.MaxActive); l < expandLimit {
+			expandLimit = l
+		}
+	}
+
+	store.Reset()
+	cur.each(func(s int32, tok *Token) {
+		if tok.Cost > expandLimit {
+			return
+		}
+		fa.Active++
+		if cfg.Probe != nil {
+			cfg.Probe.Access(RegionState, int64(s)*stateRecordBytes, stateRecordBytes)
+			cfg.Probe.Access(RegionArc, d.arcAddr(s), len(d.fst.Arcs(s))*arcRecordBytes)
+		}
+		for _, a := range d.fst.Arcs(s) {
+			if a.ILabel == wfst.Epsilon {
+				continue
+			}
+			sen := wfst.SenoneOf(a.ILabel)
+			if sen >= len(frame) {
+				panic(fmt.Sprintf("decoder: senone %d outside score vector of %d", sen, len(frame)))
+			}
+			ac := -cfg.AcousticScale * frame[sen]
+			cost := tok.Cost + a.Weight + ac
+			fa.EmitArcs++
+			if cost > limit {
+				continue
+			}
+			if cfg.Probe != nil {
+				cfg.Probe.Access(RegionAcoustic, int64(sen)*scoreBytes, scoreBytes)
+			}
+			words := tok.Words
+			if a.OLabel != wfst.Epsilon {
+				words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
+				if cfg.Probe != nil {
+					cfg.Probe.Access(RegionLattice, int64(fa.Inserts)*latticeBytes, latticeBytes)
+				}
+			}
+			fa.Inserts++
+			store.Insert(uint64(a.Next), cost, &Token{Cost: cost, Words: words})
+		}
+	})
+}

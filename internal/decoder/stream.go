@@ -1,204 +1,20 @@
 package decoder
 
-import (
-	"fmt"
-	"math"
-
-	"repro/internal/core"
-	"repro/internal/wfst"
-)
-
 // Stream is an incremental decode: frames are pushed as they arrive
 // (the real-time ASR deployment mode the paper's accelerators target)
 // and the final result is identical to a batch Decode over the same
 // frames. One Stream per utterance; not safe for concurrent use.
+//
+// Stream is a thin veneer over Session kept for API continuity; new
+// callers should use Decoder.Start directly.
 type Stream struct {
-	d     *Decoder
-	cfg   Config
-	store core.Store[*Token]
-	cur   map[int32]*Token
-	res   Result
-
-	prevCycles int64
-	finished   bool
+	*Session
 }
 
 // NewStream starts an incremental decode with the given configuration.
 func (d *Decoder) NewStream(cfg Config) *Stream {
-	if cfg.AcousticScale == 0 {
-		cfg.AcousticScale = 1
-	}
-	newStore := cfg.NewStore
-	if newStore == nil {
-		newStore = func() core.Store[*Token] { return core.NewUnbounded[*Token](0, 0, 0) }
-	}
-	return &Stream{
-		d:     d,
-		cfg:   cfg,
-		store: newStore(),
-		cur:   map[int32]*Token{d.fst.StartState(): {Cost: 0}},
-	}
+	return &Stream{Session: d.Start(cfg)}
 }
 
 // Push processes one frame of acoustic log-posteriors.
-func (s *Stream) Push(frame []float64) error {
-	if s.finished {
-		return fmt.Errorf("decoder: Push after Finish")
-	}
-	fa := FrameActivity{}
-	s.d.epsilonClosure(s.cur, &fa, s.cfg)
-	s.d.expandFrame(s.cur, frame, s.store, &fa, s.cfg)
-
-	next := make(map[int32]*Token, s.store.Len())
-	s.store.Each(func(key uint64, cost float64, tok *Token) {
-		tok.Cost = cost
-		next[int32(key)] = tok
-	})
-	s.cur = next
-
-	cycles := s.store.Stats().Cycles
-	fa.StoreCycles = cycles - s.prevCycles
-	s.prevCycles = cycles
-
-	s.res.Stats.Frames++
-	s.res.Stats.ArcsEvaluated += int64(fa.EmitArcs)
-	s.res.Stats.Hypotheses += int64(fa.Inserts)
-	s.res.Stats.EpsExpansions += int64(fa.EpsArcs)
-	s.res.Stats.SumActive += int64(fa.Active)
-	if fa.Active > s.res.Stats.MaxActive {
-		s.res.Stats.MaxActive = fa.Active
-	}
-	if s.cfg.RecordPerFrame {
-		s.res.Frames = append(s.res.Frames, fa)
-	}
-	if s.cfg.Probe != nil {
-		s.cfg.Probe.FrameDone()
-	}
-	return nil
-}
-
-// Partial returns the current best hypothesis without ending the
-// stream — the live-captioning readout. It prefers final states but
-// falls back to the best live token.
-func (s *Stream) Partial() ([]int, bool) {
-	// work on a copy: closure mutates, and the stream must continue
-	snapshot := make(map[int32]*Token, len(s.cur))
-	for k, v := range s.cur {
-		snapshot[k] = v
-	}
-	var fa FrameActivity
-	s.d.epsilonClosure(snapshot, &fa, s.cfg)
-	bestCost := math.Inf(1)
-	var best *Token
-	anyFinal := false
-	for st, tok := range snapshot {
-		final := s.d.fst.IsFinal(st)
-		c := tok.Cost
-		if final {
-			c += s.d.fst.FinalCost(st)
-		}
-		switch {
-		case final && !anyFinal:
-			anyFinal = true
-			bestCost, best = c, tok
-		case final == anyFinal && c < bestCost:
-			bestCost, best = c, tok
-		}
-	}
-	if best == nil {
-		return nil, false
-	}
-	return best.Words.Decoded(), anyFinal
-}
-
-// Finish ends the stream and returns the full result; further Push
-// calls fail.
-func (s *Stream) Finish() Result {
-	if s.finished {
-		return s.res
-	}
-	s.finished = true
-	var fa FrameActivity
-	s.d.epsilonClosure(s.cur, &fa, s.cfg)
-	bestCost := math.Inf(1)
-	var bestTok *Token
-	for st, tok := range s.cur {
-		if !s.d.fst.IsFinal(st) {
-			continue
-		}
-		c := tok.Cost + s.d.fst.FinalCost(st)
-		s.res.Finals = append(s.res.Finals, Hypothesis{Words: tok.Words.Decoded(), Cost: c})
-		if c < bestCost {
-			bestCost = c
-			bestTok = tok
-		}
-	}
-	if bestTok != nil {
-		s.res.OK = true
-		s.res.Cost = bestCost
-		s.res.Words = bestTok.Words.Decoded()
-	}
-	s.res.Stats.Store = s.store.Stats()
-	return s.res
-}
-
-// expandFrame applies beam/max-active limits and expands emitting arcs
-// of every surviving token into the store. Shared by batch Decode and
-// Stream.Push.
-func (d *Decoder) expandFrame(cur map[int32]*Token, frame []float64, store core.Store[*Token], fa *FrameActivity, cfg Config) {
-	best := math.Inf(1)
-	for _, tok := range cur {
-		if tok.Cost < best {
-			best = tok.Cost
-		}
-	}
-	limit := math.Inf(1)
-	if cfg.Beam > 0 {
-		limit = best + cfg.Beam
-	}
-	expandLimit := limit
-	if cfg.MaxActive > 0 && len(cur) > cfg.MaxActive {
-		if l := maxActiveLimit(cur, cfg.MaxActive); l < expandLimit {
-			expandLimit = l
-		}
-	}
-
-	store.Reset()
-	for s, tok := range cur {
-		if tok.Cost > expandLimit {
-			continue
-		}
-		fa.Active++
-		if cfg.Probe != nil {
-			cfg.Probe.Access(RegionState, int64(s)*stateRecordBytes, stateRecordBytes)
-			cfg.Probe.Access(RegionArc, d.arcAddr(s), len(d.fst.Arcs(s))*arcRecordBytes)
-		}
-		for _, a := range d.fst.Arcs(s) {
-			if a.ILabel == wfst.Epsilon {
-				continue
-			}
-			sen := wfst.SenoneOf(a.ILabel)
-			if sen >= len(frame) {
-				panic(fmt.Sprintf("decoder: senone %d outside score vector of %d", sen, len(frame)))
-			}
-			ac := -cfg.AcousticScale * frame[sen]
-			cost := tok.Cost + a.Weight + ac
-			fa.EmitArcs++
-			if cost > limit {
-				continue
-			}
-			if cfg.Probe != nil {
-				cfg.Probe.Access(RegionAcoustic, int64(sen)*scoreBytes, scoreBytes)
-			}
-			words := tok.Words
-			if a.OLabel != wfst.Epsilon {
-				words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
-				if cfg.Probe != nil {
-					cfg.Probe.Access(RegionLattice, int64(fa.Inserts)*latticeBytes, latticeBytes)
-				}
-			}
-			fa.Inserts++
-			store.Insert(uint64(a.Next), cost, &Token{Cost: cost, Words: words})
-		}
-	}
-}
+func (s *Stream) Push(frame []float64) error { return s.PushFrame(frame) }

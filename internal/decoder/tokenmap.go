@@ -1,0 +1,64 @@
+package decoder
+
+// tokenMap is the live-hypothesis container: state → best token, with
+// iteration in insertion order rather than Go's randomized map order.
+// Determinism is the point — the iteration order fixes the order
+// hypotheses are expanded into the store and the probe, so decoding
+// the same scores twice replays the identical access stream (store
+// collision/overflow counters, modelled cycles, cache behaviour). The
+// engine's parallel-equals-serial guarantee rests on this.
+type tokenMap struct {
+	idx    map[int32]int
+	states []int32
+	toks   []*Token
+}
+
+func newTokenMap(capacity int) *tokenMap {
+	return &tokenMap{
+		idx:    make(map[int32]int, capacity),
+		states: make([]int32, 0, capacity),
+		toks:   make([]*Token, 0, capacity),
+	}
+}
+
+func (m *tokenMap) len() int { return len(m.states) }
+
+func (m *tokenMap) get(s int32) (*Token, bool) {
+	i, ok := m.idx[s]
+	if !ok {
+		return nil, false
+	}
+	return m.toks[i], true
+}
+
+// set inserts or replaces the token for state s; a replaced state
+// keeps its original position in the iteration order.
+func (m *tokenMap) set(s int32, tok *Token) {
+	if i, ok := m.idx[s]; ok {
+		m.toks[i] = tok
+		return
+	}
+	m.idx[s] = len(m.states)
+	m.states = append(m.states, s)
+	m.toks = append(m.toks, tok)
+}
+
+// each visits tokens in insertion order. fn must not insert into m;
+// the relaxation loops that grow the map drive their own work queue.
+func (m *tokenMap) each(fn func(s int32, tok *Token)) {
+	for i, s := range m.states {
+		fn(s, m.toks[i])
+	}
+}
+
+func (m *tokenMap) clone() *tokenMap {
+	c := &tokenMap{
+		idx:    make(map[int32]int, len(m.idx)),
+		states: append([]int32(nil), m.states...),
+		toks:   append([]*Token(nil), m.toks...),
+	}
+	for k, v := range m.idx {
+		c.idx[k] = v
+	}
+	return c
+}

@@ -78,11 +78,16 @@ func GMMTable(sys *asr.System) (*Table, error) {
 	}
 	gTop1, gConf := model.Evaluate(testFrames, testLabels)
 
-	// decode the test set with GMM scores
-	var corpus wer.Corpus
-	var hypos int64
-	var nframes int
-	for _, u := range sys.TestSet {
+	// decode the test set with GMM scores (the GMM is read-only during
+	// scoring, so utterances fan out over the engine's worker pool)
+	type gmmOutcome struct {
+		words  []int
+		hypos  int64
+		frames int
+	}
+	outs := make([]gmmOutcome, len(sys.TestSet))
+	sys.ForEachUtt(sys.Engine, func(i int) {
+		u := sys.TestSet[i]
 		scores := make([][]float64, len(u.Frames))
 		for t, f := range u.Frames {
 			vec := make([]float64, sys.World.NumSenones())
@@ -90,9 +95,15 @@ func GMMTable(sys *asr.System) (*Table, error) {
 			scores[t] = vec
 		}
 		r := sys.Decoder.Decode(scores, decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1})
-		corpus.Add(u.Words, r.Words)
-		hypos += r.Stats.Hypotheses
-		nframes += r.Stats.Frames
+		outs[i] = gmmOutcome{words: r.Words, hypos: r.Stats.Hypotheses, frames: r.Stats.Frames}
+	})
+	var corpus wer.Corpus
+	var hypos int64
+	var nframes int
+	for i, u := range sys.TestSet {
+		corpus.Add(u.Words, outs[i].words)
+		hypos += outs[i].hypos
+		nframes += outs[i].frames
 	}
 
 	dTop1, _, dConf := sys.Quality(0)
@@ -126,14 +137,19 @@ func MaxActiveTable(sys *asr.System) (*Table, error) {
 	}
 	scores := sys.Scores(90)
 	run := func(cfg decoder.Config) (float64, float64) {
+		words := make([][]int, len(sys.TestSet))
+		stats := make([]decoder.Stats, len(sys.TestSet))
+		sys.ForEachUtt(sys.Engine, func(i int) {
+			r := sys.Decoder.Decode(scores[i], cfg)
+			words[i], stats[i] = r.Words, r.Stats
+		})
 		var corpus wer.Corpus
 		var hyp int64
 		var frames int
 		for i, u := range sys.TestSet {
-			r := sys.Decoder.Decode(scores[i], cfg)
-			corpus.Add(u.Words, r.Words)
-			hyp += r.Stats.Hypotheses
-			frames += r.Stats.Frames
+			corpus.Add(u.Words, words[i])
+			hyp += stats[i].Hypotheses
+			frames += stats[i].Frames
 		}
 		return corpus.Rate(), float64(hyp) / float64(frames)
 	}
@@ -169,12 +185,20 @@ func UnfoldTable(sys *asr.System) (*Table, error) {
 	const stateBytes, arcBytes = 8, 16
 	scores := sys.Scores(90)
 
+	// One shared lazy graph across concurrent sessions: the arc memo is
+	// locked internally, and the touched-state set is the union of what
+	// each utterance's search visits, so the memory numbers below are
+	// independent of the decode order.
 	lazy := wfst.NewLazy(sys.World)
 	lazyDec := decoder.New(lazy)
+	words := make([][]int, len(sys.TestSet))
+	sys.ForEachUtt(sys.Engine, func(i int) {
+		r := lazyDec.Decode(scores[i], decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1})
+		words[i] = r.Words
+	})
 	var corpus wer.Corpus
 	for i, u := range sys.TestSet {
-		r := lazyDec.Decode(scores[i], decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1})
-		corpus.Add(u.Words, r.Words)
+		corpus.Add(u.Words, words[i])
 	}
 
 	eagerStates := sys.Graph.NumStates()

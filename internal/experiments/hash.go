@@ -10,17 +10,22 @@ import (
 )
 
 // decodeWER decodes the whole test set at a pruning level with the
-// given hypothesis store and returns corpus WER.
+// given hypothesis store and returns corpus WER. Utterances decode on
+// the engine's worker pool; the corpus accumulates in index order.
 func decodeWER(sys *asr.System, level int, factory decoder.StoreFactory, beam float64) float64 {
 	scores := sys.Scores(level)
-	var corpus wer.Corpus
-	for i, u := range sys.TestSet {
+	words := make([][]int, len(sys.TestSet))
+	sys.ForEachUtt(sys.Engine, func(i int) {
 		r := sys.Decoder.Decode(scores[i], decoder.Config{
 			Beam:          beam,
 			AcousticScale: 1,
 			NewStore:      factory,
 		})
-		corpus.Add(u.Words, r.Words)
+		words[i] = r.Words
+	})
+	var corpus wer.Corpus
+	for i, u := range sys.TestSet {
+		corpus.Add(u.Words, words[i])
 	}
 	return corpus.Rate()
 }
@@ -119,11 +124,14 @@ func (r *recordingStore) Each(fn func(uint64, float64, *decoder.Token)) {
 }
 
 // recordStreams decodes the test set at a pruning level and returns
-// every frame's insert stream.
+// every frame's insert stream. Each utterance records into its own
+// slice on the engine's worker pool; concatenating in utterance order
+// reproduces the serial stream exactly.
 func recordStreams(sys *asr.System, level int) [][]core.Hypo {
 	scores := sys.Scores(level)
-	var frames [][]core.Hypo
-	for i := range sys.TestSet {
+	perUtt := make([][][]core.Hypo, len(sys.TestSet))
+	sys.ForEachUtt(sys.Engine, func(i int) {
+		var frames [][]core.Hypo
 		sys.Decoder.Decode(scores[i], decoder.Config{
 			Beam:          asr.DefaultBeam,
 			AcousticScale: 1,
@@ -131,8 +139,13 @@ func recordStreams(sys *asr.System, level int) [][]core.Hypo {
 				return &recordingStore{inner: core.NewUnbounded[*decoder.Token](0, 0, 0), frames: &frames}
 			},
 		})
+		perUtt[i] = frames
+	})
+	var all [][]core.Hypo
+	for _, frames := range perUtt {
+		all = append(all, frames...)
 	}
-	return frames
+	return all
 }
 
 // Fig9 reproduces Figure 9: similarity between the loose hash table

@@ -3,6 +3,7 @@ package wfst
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/speech"
 )
@@ -11,7 +12,10 @@ import (
 // or an on-the-fly composition (UNFOLD's defining memory optimization:
 // "a memory-efficient speech recognizer using on-the-fly WFST
 // composition"). Implementations must be deterministic: the same state
-// id always denotes the same logical state.
+// id always denotes the same logical state. They must also be safe
+// for concurrent readers — the engine layer shares one Graph across
+// all decode sessions (the eager FST is immutable after Compile; Lazy
+// locks its arc memo).
 type Graph interface {
 	StartState() int32
 	Arcs(s int32) []Arc
@@ -48,6 +52,10 @@ type Lazy struct {
 	chains   [][]int // word -> senone sequence
 	span     int
 
+	// The arc memo is the only mutable state; guarding it keeps a
+	// shared Lazy graph safe for concurrent decode sessions, matching
+	// the read-only contract of the eager FST.
+	mu    sync.RWMutex
 	cache map[int32][]Arc
 	// stats
 	expanded int
@@ -91,10 +99,16 @@ func (l *Lazy) NumStates() int {
 
 // MaterializedStates reports how many states the search actually
 // touched — the lazy composition's memory story.
-func (l *Lazy) MaterializedStates() int { return l.expanded }
+func (l *Lazy) MaterializedStates() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.expanded
+}
 
 // MaterializedArcs reports the number of cached arcs.
 func (l *Lazy) MaterializedArcs() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	n := 0
 	for _, arcs := range l.cache {
 		n += len(arcs)
@@ -127,10 +141,30 @@ func (l *Lazy) decode(s int32) (h, w, p int) {
 }
 
 // Arcs expands (and caches) the out-arcs of a state on first touch.
+// Expansion is a pure function of the state id, so concurrent callers
+// racing on the same uncached state compute identical arc slices; the
+// first to publish wins and the memo stays deterministic.
 func (l *Lazy) Arcs(s int32) []Arc {
-	if arcs, ok := l.cache[s]; ok {
+	l.mu.RLock()
+	arcs, ok := l.cache[s]
+	l.mu.RUnlock()
+	if ok {
 		return arcs
 	}
+	arcs = l.expand(s)
+	l.mu.Lock()
+	if prior, ok := l.cache[s]; ok {
+		arcs = prior // another session expanded s first
+	} else {
+		l.cache[s] = arcs
+		l.expanded++
+	}
+	l.mu.Unlock()
+	return arcs
+}
+
+// expand computes the out-arcs of a state without touching the memo.
+func (l *Lazy) expand(s int32) []Arc {
 	var arcs []Arc
 	if s < l.hubCount() {
 		h := int(s)
@@ -163,8 +197,6 @@ func (l *Lazy) Arcs(s int32) []Arc {
 			}
 		}
 	}
-	l.cache[s] = arcs
-	l.expanded++
 	return arcs
 }
 
