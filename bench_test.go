@@ -24,6 +24,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/gmm"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/wer"
 	"repro/internal/wfst"
@@ -218,7 +219,7 @@ func BenchmarkTailLatency(b *testing.B) {
 	}
 }
 
-// ---- ablations (DESIGN.md §7) -------------------------------------------
+// ---- ablations (DESIGN.md §8) -------------------------------------------
 
 // BenchmarkAblationHeapVsTree compares the paper's single-cycle
 // Max-Heap replacement against the rejected 3-cycle comparator tree:
@@ -387,6 +388,37 @@ func BenchmarkSessionDecode(b *testing.B) {
 		}
 		s.Finish()
 	}
+}
+
+// BenchmarkSessionPushFrameObs is the observability overhead guard:
+// the same frame-by-frame decode as BenchmarkSessionDecode with
+// metrics disabled (the default) and enabled. The budget documented
+// in docs/OBSERVABILITY.md is <2% overhead enabled and ~0 disabled —
+// disabled instrumentation costs one atomic load per update site.
+func BenchmarkSessionPushFrameObs(b *testing.B) {
+	sys := benchSystem(b)
+	scores := sys.Scores(90)[0]
+	cfg := decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1}
+	decode := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sys.Decoder.Start(cfg)
+			for _, f := range scores {
+				if err := s.PushFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Finish()
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		obs.Disable()
+		decode(b)
+	})
+	b.Run("on", func(b *testing.B) {
+		obs.Enable()
+		defer obs.Disable()
+		decode(b)
+	})
 }
 
 // ---- micro-benchmarks of the hot paths ----------------------------------

@@ -13,5 +13,16 @@ if [ -n "$fmt" ]; then
 fi
 
 go vet ./...
+
+# Godoc audit: every package (and command) must carry a package-level
+# doc comment — the convention godoc renders and docs/OBSERVABILITY.md
+# links into.
+for d in $(go list -f '{{.Dir}}' ./...); do
+	if ! grep -l -E '^// (Package|Command) ' "$d"/*.go >/dev/null 2>&1; then
+		echo "missing package doc comment in $d" >&2
+		exit 1
+	fi
+done
+
 go build ./...
 go test -race ./...

@@ -6,13 +6,20 @@
 //
 //	asrdecode [-scale small] [-model models/small-prune90.model]
 //	          [-store unbounded|nbest|accurate] [-beam 15] [-n 0]
-//	          [-workers 0]
+//	          [-workers 0] [-metrics-addr localhost:9090] [-v]
+//
+// -metrics-addr serves the internal/obs registry over HTTP while the
+// decode runs (/metrics JSON, /metrics/text, /debug/pprof/); -v also
+// enables observation and appends the metrics text summary after the
+// WER report. Transcripts and WER are bit-identical with metrics on
+// or off; docs/OBSERVABILITY.md catalogues the metric names.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -20,6 +27,7 @@ import (
 	"repro/internal/asr"
 	"repro/internal/decoder"
 	"repro/internal/dnn"
+	"repro/internal/obs"
 	"repro/internal/speech"
 	"repro/internal/wer"
 	"repro/internal/wfst"
@@ -36,7 +44,19 @@ func main() {
 	lazy := flag.Bool("lazy", false, "use on-the-fly WFST composition instead of the precompiled graph")
 	verbose := flag.Bool("v", false, "print every transcript")
 	workersFlag := flag.Int("workers", 0, "concurrent utterance decodes (0 = one per core, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (enables observation)")
 	flag.Parse()
+
+	if *verbose {
+		obs.Enable()
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := obs.Default.ListenAndServe(*metricsAddr); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	if *modelPath == "" {
 		log.Fatal("-model is required (run asrtrain first)")
@@ -168,6 +188,11 @@ func main() {
 	fmt.Printf("WER: %.2f%% (%d sub, %d ins, %d del over %d words)\n",
 		corpus.Rate(), corpus.Ops.Substitutions, corpus.Ops.Insertions,
 		corpus.Ops.Deletions, corpus.RefWords)
+	if *verbose {
+		if err := obs.Default.WriteText(os.Stderr); err != nil {
+			log.Printf("metrics summary: %v", err)
+		}
+	}
 }
 
 func words(ws []int) string {

@@ -4,10 +4,18 @@
 // Usage:
 //
 //	darkside [-scale tiny|small|paper] [-only fig11,fig12,...] [-workers n]
+//	         [-metrics-addr localhost:9090] [-v]
 //
 // With no -only flag, all experiments run in paper order. Decoding
 // fans out over the engine's worker pools (-workers 1 forces the
 // serial reference path; the output is identical either way).
+//
+// -metrics-addr serves the internal/obs registry over HTTP while the
+// run is in flight (/metrics JSON, /metrics/text, /debug/pprof/); -v
+// enables observation and prints the text summary to stderr at the
+// end. Both are off the determinism path: tables are bit-identical
+// with metrics on or off. docs/OBSERVABILITY.md catalogues the
+// metric names.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 
 	"repro/internal/asr"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,7 +39,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig3,fig11); empty = all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "engine worker-pool width per level (0 = one per core, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (enables observation)")
+	verbose := flag.Bool("v", false, "enable observation and print the metrics summary to stderr at the end")
 	flag.Parse()
+
+	if *verbose {
+		obs.Enable()
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := obs.Default.ListenAndServe(*metricsAddr); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	var scale asr.Scale
 	switch *scaleName {
@@ -91,7 +113,7 @@ func main() {
 		{"fig12", func() (*experiments.Table, error) { return experiments.Fig12(sys) }},
 		{"tail", func() (*experiments.Table, error) { return experiments.TailLatency(sys) }},
 		{"headline", func() (*experiments.Table, error) { return experiments.Headline(sys) }},
-		// extensions beyond the paper's evaluation (see DESIGN.md §7)
+		// extensions beyond the paper's evaluation (see DESIGN.md §8)
 		{"quant", func() (*experiments.Table, error) { return experiments.QuantTable(sys) }},
 		{"gmm", func() (*experiments.Table, error) { return experiments.GMMTable(sys) }},
 		{"maxactive", func() (*experiments.Table, error) { return experiments.MaxActiveTable(sys) }},
@@ -117,5 +139,11 @@ func main() {
 			table.Fprint(os.Stdout)
 		}
 		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", g.id, time.Since(t0).Seconds())
+	}
+
+	if *verbose {
+		if err := obs.Default.WriteText(os.Stderr); err != nil {
+			log.Printf("metrics summary: %v", err)
+		}
 	}
 }

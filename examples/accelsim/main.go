@@ -1,7 +1,7 @@
-// Accelsim: drive the two accelerator simulators directly — the
-// DaDianNao-style DNN engine with sparse-gather bank conflicts
+// Command accelsim drives the two accelerator simulators directly —
+// the DaDianNao-style DNN engine with sparse-gather bank conflicts
 // (Section III-D) and the UNFOLD-style Viterbi engine (Section III-A)
-// — and print the Section V time/energy comparison for one system.
+// — and prints the Section V time/energy comparison for one system.
 package main
 
 import (

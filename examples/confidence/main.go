@@ -1,5 +1,5 @@
-// Confidence: reproduce the paper's Section II analysis — Figures 1
-// and 3 — on a freshly trained system: top-1/top-5 accuracy survive
+// Command confidence reproduces the paper's Section II analysis —
+// Figures 1 and 3 — on a freshly trained system: top-1/top-5 accuracy survive
 // magnitude pruning while the softmax confidence collapses, and the
 // score distribution of a single frame visibly flattens.
 package main

@@ -1,7 +1,8 @@
-// Frontend: the full speech front end from scratch — render synthetic
-// audio for a phonetic unit sequence, extract MFCC features (Hamming
-// window → FFT → mel filterbank → DCT), add deltas and CMVN, and train
-// a GMM classifier on the result. This is the waveform-level stand-in
+// Command frontend runs the full speech front end from scratch —
+// renders synthetic audio for a phonetic unit sequence, extracts MFCC
+// features (Hamming window → FFT → mel filterbank → DCT), adds deltas
+// and CMVN, and trains a GMM classifier on the result. This is the
+// waveform-level stand-in
 // for the Kaldi feature pipeline the paper's DNN consumes.
 package main
 

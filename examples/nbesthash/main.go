@@ -1,6 +1,7 @@
-// NBestHash: the paper's primary hardware contribution in isolation —
-// the K-way set-associative hash table that loosely tracks the N best
-// hypotheses with a per-set Max-Heap (Figures 7, 8 and 9).
+// Command nbesthash demonstrates the paper's primary hardware
+// contribution in isolation — the K-way set-associative hash table
+// that loosely tracks the N best hypotheses with a per-set Max-Heap
+// (Figures 7, 8 and 9).
 //
 // The example (1) replays the paper's worked Figure 8 insertion, (2)
 // replays one hypothesis stream into four table designs and reports

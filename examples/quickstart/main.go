@@ -1,6 +1,7 @@
-// Quickstart: build the whole reproduced ASR system end to end —
-// synthesize a world, train the acoustic DNN, prune it, compile the
-// decoding graph and decode — in under a minute on a laptop.
+// Command quickstart builds the whole reproduced ASR system end to
+// end — synthesizes a world, trains the acoustic DNN, prunes it,
+// compiles the decoding graph and decodes — in under a minute on a
+// laptop.
 package main
 
 import (

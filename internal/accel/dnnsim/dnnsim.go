@@ -178,6 +178,10 @@ func Analyze(net *dnn.Network, cfg Config) (*Report, error) {
 	if fcCycles > 0 {
 		rep.Utilization = float64(rep.MACsPerFrame) / float64(fcCycles*int64(cfg.Lanes()))
 	}
+	obsCyclesPerFrame.Set(float64(rep.CyclesPerFrame))
+	obsUtilization.Set(rep.Utilization)
+	perFrame := rep.EnergyPerFrame()
+	obsEnergyPerFrame.Set(perFrame.TotalJ())
 	return rep, nil
 }
 

@@ -1,0 +1,16 @@
+package dnnsim
+
+import "repro/internal/obs"
+
+// Modelled accelerator gauges (see docs/OBSERVABILITY.md): Analyze
+// publishes the per-frame cost of the most recently analyzed model —
+// the quantities behind the paper's Section III-D utilization-drop
+// argument — so a running experiment exposes them mid-sweep.
+var (
+	obsCyclesPerFrame = obs.NewGauge("accel.dnn.cycles_per_frame", "cycles",
+		"modelled DNN-accelerator cycles per forward pass (last Analyze)")
+	obsUtilization = obs.NewGauge("accel.dnn.utilization", "fraction",
+		"modelled FP MAC-array utilization (last Analyze)")
+	obsEnergyPerFrame = obs.NewGauge("accel.dnn.energy_per_frame_j", "joules",
+		"modelled DNN-accelerator energy per forward pass (last Analyze)")
+)

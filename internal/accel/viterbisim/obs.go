@@ -1,0 +1,15 @@
+package viterbisim
+
+import "repro/internal/obs"
+
+// Modelled Viterbi-accelerator metrics (see docs/OBSERVABILITY.md):
+// Finish accumulates the modelled cost of every simulated decode, the
+// running total behind the paper's Figures 11/12 comparisons.
+var (
+	obsDecodes = obs.NewCounter("accel.viterbi.decodes", "decodes",
+		"simulated Viterbi-accelerator decodes finished")
+	obsCycles = obs.NewCounter("accel.viterbi.cycles", "cycles",
+		"modelled Viterbi-accelerator cycles, accumulated over decodes")
+	obsEnergy = obs.NewGauge("accel.viterbi.energy_j", "joules",
+		"modelled Viterbi-accelerator energy, accumulated over decodes")
+)

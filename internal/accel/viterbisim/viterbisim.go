@@ -170,6 +170,9 @@ func (s *Simulator) Finish(stats decoder.Stats) Report {
 	}
 
 	rep.Energy = s.energyFor(stats, storeStats, rep.Seconds)
+	obsDecodes.Inc()
+	obsCycles.Add(rep.Cycles)
+	obsEnergy.Add(rep.Energy.TotalJ())
 	return rep
 }
 

@@ -14,11 +14,13 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/accel/dnnsim"
 	"repro/internal/accel/viterbisim"
 	"repro/internal/decoder"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/wer"
 )
 
@@ -52,29 +54,52 @@ func workers(requested, jobs int) int {
 	return w
 }
 
+// queuedIndex is one unit of pool work; at carries the enqueue time
+// for the queue-wait metric and stays zero while observation is off,
+// so the disabled path never reads the clock.
+type queuedIndex struct {
+	i  int
+	at time.Time
+}
+
 // forEachIndex runs fn(i) for i in [0, n) across a pool of the given
-// width. fn must confine its writes to state owned by index i.
+// width. fn must confine its writes to state owned by index i. The
+// pool reports per-job queue wait and busy-worker occupancy to
+// internal/obs; the metrics observe scheduling only and cannot affect
+// ordering or results.
 func forEachIndex(n, poolSize int, fn func(i int)) {
+	instrumented := func(i int) {
+		obsBusyWorkers.Add(1)
+		fn(i)
+		obsBusyWorkers.Add(-1)
+	}
 	w := workers(poolSize, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			instrumented(i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	work := make(chan int)
+	work := make(chan queuedIndex)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
-				fn(i)
+			for q := range work {
+				if !q.at.IsZero() {
+					obsQueueWait.Histogram().Observe(time.Since(q.at).Seconds())
+				}
+				instrumented(q.i)
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		work <- i
+		var at time.Time
+		if obs.Enabled() {
+			at = time.Now()
+		}
+		work <- queuedIndex{i: i, at: at}
 	}
 	close(work)
 	wg.Wait()
@@ -86,7 +111,12 @@ func forEachIndex(n, poolSize int, fn func(i int)) {
 // Experiment generators use this to parallelize bespoke decode sweeps
 // with the same ownership contract as Run.
 func (s *System) ForEachUtt(eng EngineConfig, fn func(i int)) {
-	forEachIndex(len(s.TestSet), eng.UttWorkers, fn)
+	forEachIndex(len(s.TestSet), eng.UttWorkers, func(i int) {
+		sp := obsUttTime.Start()
+		fn(i)
+		sp.Stop()
+		obsUtterances.Inc()
+	})
 }
 
 // uttOutcome is one utterance's decode output, captured per index so
@@ -180,6 +210,7 @@ func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg vite
 	if math.IsNaN(res.WER) {
 		return nil, fmt.Errorf("asr: WER is NaN for %s", cfg.Name)
 	}
+	obsRuns.Inc()
 	return res, nil
 }
 

@@ -1,0 +1,20 @@
+package asr
+
+import "repro/internal/obs"
+
+// Engine-layer metrics (see docs/OBSERVABILITY.md). The utterance
+// rate of a run is read off engine.utterances' per-second rate in the
+// -v text summary; worker utilization is engine.workers_busy against
+// the configured pool width.
+var (
+	obsRuns = obs.NewCounter("engine.runs", "runs",
+		"pipeline configurations evaluated end to end (RunEngine calls)")
+	obsUtterances = obs.NewCounter("engine.utterances", "utterances",
+		"utterance decodes completed by the engine worker pools")
+	obsUttTime = obs.NewTimer("engine.utt_seconds",
+		"wall-clock seconds per utterance decode (scoring + search + sim)")
+	obsQueueWait = obs.NewTimer("engine.queue_wait_seconds",
+		"seconds a scheduled index waits in the work queue before a worker picks it up")
+	obsBusyWorkers = obs.NewGauge("engine.workers_busy", "workers",
+		"engine workers currently executing a job")
+)

@@ -1,0 +1,60 @@
+package asr
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEngineDeterministicWithObs pins the end-to-end observability
+// contract at the pipeline level: running the full experiment matrix
+// with metrics enabled produces results bit-identical to a run with
+// metrics disabled, at any pool width.
+func TestEngineDeterministicWithObs(t *testing.T) {
+	sys := tinySystem(t)
+	cfgs := []PipelineConfig{
+		sys.Preset(MitigationNone, 90),
+		sys.Preset(MitigationNBest, 90),
+	}
+
+	obs.Disable()
+	plain, err := sys.RunMatrixEngine(cfgs, EngineConfig{UttWorkers: 4, CfgWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Enable()
+	instrumented, err := sys.RunMatrixEngine(cfgs, EngineConfig{UttWorkers: 4, CfgWorkers: 2})
+	obs.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range plain {
+		requireIdenticalResults(t, plain[i], instrumented[i])
+	}
+}
+
+// TestEngineRecordsUtterances checks the engine-level counters move
+// while enabled: one engine.utterances increment per test-set
+// utterance per run, and one engine.runs increment per config.
+func TestEngineRecordsUtterances(t *testing.T) {
+	sys := tinySystem(t)
+	utts := obs.Default.Get("engine.utterances").(*obs.Counter)
+	runs := obs.Default.Get("engine.runs").(*obs.Counter)
+	u0, r0 := utts.Value(), runs.Value()
+
+	obs.Enable()
+	_, err := sys.RunMatrixEngine([]PipelineConfig{sys.Preset(MitigationNone, 0)}, EngineConfig{UttWorkers: 2, CfgWorkers: 1})
+	obs.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := utts.Value() - u0; got != int64(len(sys.TestSet)) {
+		t.Fatalf("engine.utterances moved by %d, want %d", got, len(sys.TestSet))
+	}
+	if got := runs.Value() - r0; got != 1 {
+		t.Fatalf("engine.runs moved by %d, want 1", got)
+	}
+}

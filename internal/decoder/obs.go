@@ -1,0 +1,32 @@
+package decoder
+
+import "repro/internal/obs"
+
+// Decode-path metrics (see docs/OBSERVABILITY.md for the catalogue).
+// All are package-level so the per-frame hot path never performs a
+// registry lookup; every update is dropped at one atomic load's cost
+// while observation is disabled, and none of them feed back into the
+// search — decode results are bit-identical either way (pinned by
+// TestSessionDeterministicWithObs).
+var (
+	obsSessions = obs.NewCounter("decode.sessions", "sessions",
+		"decode sessions finished (one per utterance)")
+	obsFrames = obs.NewCounter("decode.frames", "frames",
+		"acoustic frames pushed through Viterbi search")
+	obsArcs = obs.NewCounter("decode.arcs_evaluated", "arcs",
+		"emitting WFST arcs scored against acoustic frames")
+	obsHypotheses = obs.NewCounter("decode.hypotheses", "hypotheses",
+		"hypotheses offered to the store (the paper's search workload)")
+	obsEps = obs.NewCounter("decode.eps_expansions", "arcs",
+		"epsilon-arc closure expansions")
+	obsCollisions = obs.NewCounter("decode.store.collisions", "collisions",
+		"direct-mapped store slot conflicts (UNFOLD baseline)")
+	obsOverflows = obs.NewCounter("decode.store.overflows", "spills",
+		"store spills to the DRAM overflow buffer (UNFOLD baseline)")
+	obsLiveTokens = obs.NewGauge("decode.live_tokens", "tokens",
+		"live hypotheses after the most recent frame")
+	obsOccupancy = obs.NewHistogram("decode.beam_occupancy", "tokens",
+		"tokens surviving the beam per frame", obs.CountBuckets(1<<20))
+	obsFrameTime = obs.NewTimer("decode.frame_seconds",
+		"wall-clock seconds per PushFrame (search only, scoring excluded)")
+)

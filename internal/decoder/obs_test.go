@@ -1,0 +1,64 @@
+package decoder
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// TestSessionDeterministicWithObs pins the observability contract:
+// instrumentation observes the decode but never feeds back, so the
+// full Result — words, costs, store stats included — is bit-identical
+// with metrics enabled and disabled.
+func TestSessionDeterministicWithObs(t *testing.T) {
+	world, graph := sessionWorld(t)
+	d := New(graph)
+	rng := mat.NewRNG(97)
+
+	for trial := 0; trial < 3; trial++ {
+		scores := randomScores(world, rng, 12)
+		for _, dcfg := range []Config{
+			{Beam: 15, AcousticScale: 1},
+			{Beam: 15, AcousticScale: 1, NewStore: SetAssocStore(8, 4)},
+			{Beam: 15, AcousticScale: 1, MaxActive: 16},
+		} {
+			obs.Disable()
+			plain := d.Decode(scores, dcfg)
+
+			obs.Enable()
+			instrumented := d.Decode(scores, dcfg)
+			obs.Disable()
+
+			requireSameResult(t, plain, instrumented)
+		}
+	}
+}
+
+// TestSessionRecordsMetrics checks the decode counters actually move
+// while enabled and agree with the session's own Stats.
+func TestSessionRecordsMetrics(t *testing.T) {
+	world, graph := sessionWorld(t)
+	d := New(graph)
+	rng := mat.NewRNG(13)
+	scores := randomScores(world, rng, 8)
+
+	frames := obs.Default.Get("decode.frames").(*obs.Counter)
+	hyps := obs.Default.Get("decode.hypotheses").(*obs.Counter)
+	sessions := obs.Default.Get("decode.sessions").(*obs.Counter)
+	f0, h0, s0 := frames.Value(), hyps.Value(), sessions.Value()
+
+	obs.Enable()
+	res := d.Decode(scores, Config{Beam: 15, AcousticScale: 1})
+	obs.Disable()
+
+	if got := frames.Value() - f0; got != int64(res.Stats.Frames) {
+		t.Fatalf("decode.frames moved by %d, want %d", got, res.Stats.Frames)
+	}
+	if got := hyps.Value() - h0; got != res.Stats.Hypotheses {
+		t.Fatalf("decode.hypotheses moved by %d, want %d", got, res.Stats.Hypotheses)
+	}
+	if got := sessions.Value() - s0; got != 1 {
+		t.Fatalf("decode.sessions moved by %d, want 1", got)
+	}
+}

@@ -62,6 +62,7 @@ func (s *Session) PushFrame(frame []float64) error {
 	if s.finished {
 		return fmt.Errorf("decoder: PushFrame after Finish")
 	}
+	sp := obsFrameTime.Start()
 	fa := FrameActivity{}
 	s.d.epsilonClosure(s.cur, &fa, s.cfg)
 	s.d.expandFrame(s.cur, frame, s.store, &fa, s.cfg)
@@ -93,6 +94,13 @@ func (s *Session) PushFrame(frame []float64) error {
 	if s.cfg.Probe != nil {
 		s.cfg.Probe.FrameDone()
 	}
+	obsFrames.Inc()
+	obsArcs.Add(int64(fa.EmitArcs))
+	obsHypotheses.Add(int64(fa.Inserts))
+	obsEps.Add(int64(fa.EpsArcs))
+	obsOccupancy.Observe(float64(fa.Active))
+	obsLiveTokens.Set(float64(s.cur.len()))
+	sp.Stop()
 	return nil
 }
 
@@ -161,6 +169,9 @@ func (s *Session) Finish() Result {
 		s.res.Words = bestTok.Words.Decoded()
 	}
 	s.res.Stats.Store = s.store.Stats()
+	obsSessions.Inc()
+	obsCollisions.Add(s.res.Stats.Store.Collisions)
+	obsOverflows.Add(s.res.Stats.Store.Overflows)
 	return s.res
 }
 

@@ -108,5 +108,10 @@ func LoadFile(path string) (*Network, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	net, err := Load(f)
+	if err != nil {
+		return nil, err
+	}
+	PublishWeightStats(net)
+	return net, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // Network is a feed-forward stack of layers ending in a linear layer
@@ -47,11 +48,24 @@ func (n *Network) newActivations() [][]float64 {
 
 // forwardInto runs the network over in, leaving every intermediate
 // activation in acts; returns the logits slice (aliased into acts).
+// The instrumented branch is taken only while observation is enabled,
+// so the plain path pays one atomic load for the whole pass.
 func (n *Network) forwardInto(acts [][]float64, in []float64) []float64 {
 	copy(acts[0], in)
-	for i, l := range n.Layers {
-		l.Forward(acts[i+1], acts[i])
+	if !obs.Enabled() {
+		for i, l := range n.Layers {
+			l.Forward(acts[i+1], acts[i])
+		}
+		return acts[len(acts)-1]
 	}
+	sp := obsForwardTime.Start()
+	for i, l := range n.Layers {
+		lsp := obsLayerTime.Start()
+		l.Forward(acts[i+1], acts[i])
+		lsp.Stop()
+	}
+	sp.Stop()
+	obsForwardPasses.Inc()
 	return acts[len(acts)-1]
 }
 

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry:
+//
+//	/metrics        JSON snapshot (expvar-style, see Snapshot)
+//	/metrics/text   aligned text summary (same as the -v readout)
+//	/debug/pprof/   the standard runtime profiles
+//
+// pprof is mounted explicitly on the returned mux rather than via the
+// net/http/pprof side-effect import, so nothing leaks onto
+// http.DefaultServeMux.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics/text", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe enables the registry and serves its Handler on addr
+// (e.g. "localhost:9090"); it blocks like http.ListenAndServe. The
+// CLIs run it on a goroutine behind their -metrics-addr flag.
+func (r *Registry) ListenAndServe(addr string) error {
+	r.SetEnabled(true)
+	return http.ListenAndServe(addr, r.Handler())
+}

@@ -1,0 +1,184 @@
+// Package obs is the repo's zero-dependency observability layer:
+// named registries of atomic counters, gauges, and fixed-bucket
+// histograms, plus a lightweight span/timer API for wall-clock
+// measurements on the hot paths.
+//
+// The package exists because the paper's argument is quantitative —
+// the search-workload explosion (Figures 4, 11, 12) only shows up in
+// per-frame, per-stage accounting — and because a long-running decode
+// service needs counters that are visible *mid-run*, not only in a
+// final result struct. Every instrumented package registers its
+// metrics in the package-level Default registry at init time;
+// docs/OBSERVABILITY.md catalogues each metric's name, type, unit,
+// and the paper table or figure it corresponds to.
+//
+// # Design
+//
+//   - A Registry maps metric names to metrics and carries one shared
+//     enabled flag. Metrics are created once (NewCounter et al. are
+//     idempotent per name) and held in package-level vars by the
+//     instrumented code, so the hot path never performs a map lookup.
+//   - All mutation is atomic (sync/atomic); metrics may be hammered
+//     from any number of goroutines without locks.
+//   - Instrumentation is strictly off the decode's determinism path:
+//     metrics observe, they never feed back. Decode results are
+//     bit-identical with observation enabled or disabled (pinned by
+//     TestSessionDeterministicWithObs and TestEngineDeterministicWithObs).
+//   - Observation is disabled by default. Every Add/Set/Observe first
+//     loads the registry's atomic enabled flag and returns if it is
+//     false, so a disabled metric costs one atomic load and a branch
+//     (~1 ns); timers skip the time.Now calls entirely. The measured
+//     budget lives in docs/OBSERVABILITY.md ("Overhead").
+//
+// # Reading metrics
+//
+// Three readouts are provided:
+//
+//   - Registry.WriteJSON emits an expvar-style JSON snapshot (the
+//     /metrics wire format).
+//   - Registry.WriteText prints an aligned human-readable summary,
+//     with per-second rates for counters (what cmd/darkside -v and
+//     cmd/asrdecode -v show after a run).
+//   - ListenAndServe mounts /metrics, /metrics/text, and net/http/pprof
+//     on a plain http.ServeMux; cmd/darkside and cmd/asrdecode expose
+//     it behind -metrics-addr.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric is anything a Registry can hold and snapshot.
+type Metric interface {
+	// Name returns the registered name (dotted lowercase, e.g.
+	// "decode.frames").
+	Name() string
+	// Unit returns the unit of the value ("frames", "seconds", ...).
+	Unit() string
+	// Help returns the one-line description.
+	Help() string
+	// snapshot returns the JSON-marshalable state of the metric.
+	snapshot() map[string]any
+}
+
+// Registry is a named collection of metrics sharing one enabled flag.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	name    string
+	enabled atomic.Bool
+	start   time.Time
+
+	mu      sync.RWMutex
+	metrics map[string]Metric
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry(name string) *Registry {
+	return &Registry{name: name, start: time.Now(), metrics: map[string]Metric{}}
+}
+
+// Default is the process-wide registry every instrumented package
+// registers into at init time.
+var Default = NewRegistry("default")
+
+// SetEnabled turns observation on or off for every metric of the
+// registry. Disabled metrics drop all updates at near-zero cost.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is currently observing.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Enable turns on the Default registry.
+func Enable() { Default.SetEnabled(true) }
+
+// Disable turns off the Default registry.
+func Disable() { Default.SetEnabled(false) }
+
+// Enabled reports whether the Default registry is observing. Hot
+// paths use it to skip work (e.g. a time.Now call) whose result would
+// be dropped anyway.
+func Enabled() bool { return Default.Enabled() }
+
+// register installs m under its name, or returns the existing metric
+// of that name. Registering a name twice with different metric types
+// panics: it is always a programming error.
+func register[M Metric](r *Registry, m M) M {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[m.Name()]; ok {
+		prev, ok := old.(M)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different type (%T vs %T)", m.Name(), m, old))
+		}
+		return prev
+	}
+	r.metrics[m.Name()] = m
+	return m
+}
+
+// Get returns the metric registered under name, or nil.
+func (r *Registry) Get(name string) Metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics[name]
+}
+
+// Names returns the registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// each visits metrics in sorted name order.
+func (r *Registry) each(fn func(Metric)) {
+	names := r.Names()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, n := range names {
+		fn(r.metrics[n])
+	}
+}
+
+// Uptime reports the time since the registry was created (the
+// denominator of the per-second rates in WriteText).
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
+
+// Span measures one wall-clock interval; obtain one from Timer.Start
+// (or the package-level Start) and call Stop exactly once. The zero
+// Span is valid and Stop on it is a no-op — that is what Start returns
+// while observation is disabled.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Stop ends the span, recording the elapsed seconds into the timer's
+// histogram. Stop on a zero Span does nothing.
+func (s Span) Stop() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.t0).Seconds())
+}
+
+// Start opens a span on the named timer of the Default registry,
+// creating the timer with default latency buckets if the name is
+// unknown. Hot paths should instead hold the *Timer from NewTimer in a
+// package-level var and call its Start method, which skips the name
+// lookup.
+func Start(name string) Span {
+	if !Default.Enabled() {
+		return Span{}
+	}
+	return NewTimer(name, "span: "+name).Start()
+}

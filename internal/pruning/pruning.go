@@ -151,5 +151,6 @@ func PruneAndRetrain(baseline *dnn.Network, samples []dnn.Sample, cfg Config) (R
 			fc.ApplyMask()
 		}
 	}
+	dnn.PublishWeightStats(net)
 	return Result{Net: net, Report: rep}, nil
 }

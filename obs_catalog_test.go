@@ -1,0 +1,53 @@
+// Catalogue conformance: docs/OBSERVABILITY.md and the live registry
+// must agree exactly. This test binary imports every instrumented
+// package (decoder, asr, dnn, dnnsim, viterbisim), so by init time
+// the Default registry holds the complete metric set; each name in
+// the doc's catalogue table must be registered, and each registered
+// metric must be documented. The acceptance floor is 12 metrics.
+package repro_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// catalogNames extracts the backticked metric names from the
+// catalogue tables of docs/OBSERVABILITY.md (first column of each
+// table row).
+func catalogNames(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("reading catalogue: %v", err)
+	}
+	re := regexp.MustCompile("(?m)^\\| `([a-z0-9._]+)` \\|")
+	names := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(raw), -1) {
+		names[m[1]] = true
+	}
+	return names
+}
+
+func TestObservabilityCatalogMatchesRegistry(t *testing.T) {
+	documented := catalogNames(t)
+	if len(documented) < 12 {
+		t.Fatalf("docs/OBSERVABILITY.md catalogues %d metrics, want >= 12", len(documented))
+	}
+	registered := map[string]bool{}
+	for _, name := range obs.Default.Names() {
+		registered[name] = true
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/OBSERVABILITY.md documents %q but no such metric is registered", name)
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %q is registered but missing from docs/OBSERVABILITY.md", name)
+		}
+	}
+}
