@@ -26,3 +26,40 @@ done
 
 go build ./...
 go test -race ./...
+
+# Server smoke test: train a tiny model, start asrserve on a random
+# port, stream the test set through asrload (both race-built), then
+# SIGTERM and require a clean drain (exit 0). Pins the binaries'
+# wiring end to end — flag parsing, model loading, the wire protocol,
+# and signal handling — which unit tests can't.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload
+"$smoke"/asrtrain -scale tiny -out "$smoke/models" >/dev/null
+"$smoke"/asrserve -scale tiny -model "$smoke/models/tiny-prune90.model" \
+	-addr localhost:0 >"$smoke/serve.out" 2>"$smoke/serve.err" &
+server=$!
+addr=
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^listening on //p' "$smoke/serve.out" 2>/dev/null)
+	[ -n "$addr" ] && break
+	if ! kill -0 "$server" 2>/dev/null; then
+		echo "asrserve exited before listening:" >&2
+		cat "$smoke/serve.err" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "asrserve never printed its address" >&2
+	kill "$server" 2>/dev/null
+	exit 1
+fi
+"$smoke"/asrload -scale tiny -addr "$addr" -sessions 16
+kill -TERM "$server"
+if ! wait "$server"; then
+	echo "asrserve did not drain cleanly on SIGTERM:" >&2
+	cat "$smoke/serve.err" >&2
+	exit 1
+fi
+echo "server smoke test ok ($addr)"

@@ -50,13 +50,7 @@ func main() {
 	if *verbose {
 		obs.Enable()
 	}
-	if *metricsAddr != "" {
-		go func() {
-			if err := obs.Default.ListenAndServe(*metricsAddr); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-	}
+	obs.ServeBackground(*metricsAddr)
 
 	if *modelPath == "" {
 		log.Fatal("-model is required (run asrtrain first)")
@@ -99,28 +93,9 @@ func main() {
 	}
 	testSet := world.SynthesizeSetNoisy(scale.TestUtts, scale.WordsPerUtt, 2002, noise)
 
-	bound := *n
-	if bound == 0 {
-		bound = scale.NBestN()
-	}
-	var factory decoder.StoreFactory
-	switch *storeKind {
-	case "unbounded":
-		factory = decoder.UnboundedStore(scale.DirectEntries, scale.BackupEntries, 0)
-	case "nbest":
-		ways := scale.NBestWays
-		if ways <= 0 {
-			ways = 8
-		}
-		sets := bound / ways
-		if sets < 1 {
-			sets = 1
-		}
-		factory = decoder.SetAssocStore(sets, ways)
-	case "accurate":
-		factory = decoder.AccurateStore(bound)
-	default:
-		log.Fatalf("unknown store %q", *storeKind)
+	factory, err := asr.StoreFactoryFor(scale, *storeKind, *n)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Engine-style fan-out: utterances are independent, so score and

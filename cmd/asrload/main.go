@@ -1,0 +1,239 @@
+// Command asrload is the load generator for asrserve: it synthesizes
+// the scale's deterministic test corpus (the same seed asrdecode
+// uses), splices features client-side, and streams utterances over
+// many concurrent sessions, retrying admission rejects with the
+// server's retry-after hint. It reports throughput, per-utterance
+// latency, reject counts, and — because the corpus reference words
+// are known — the corpus WER of the transcripts the server returned,
+// which must match asrdecode on the same model exactly.
+//
+// Usage:
+//
+//	asrload -addr localhost:8093 [-scale small] [-sessions 32]
+//	        [-utts 0] [-partial-every 0] [-deadline 0]
+//	        [-connect-timeout 10s] [-v]
+//
+// -utts 0 streams the scale's whole test set; -connect-timeout keeps
+// redialing a server that is still starting up, so the CI smoke test
+// can launch both processes back to back.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asr"
+	"repro/internal/serve"
+	"repro/internal/speech"
+	"repro/internal/wer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asrload: ")
+	addr := flag.String("addr", "localhost:8093", "asrserve address")
+	scaleName := flag.String("scale", "small", "tiny, small or paper (must match the server)")
+	sessions := flag.Int("sessions", 32, "concurrent streaming sessions")
+	utts := flag.Int("utts", 0, "utterances to stream (0 = the scale's whole test set)")
+	partialEvery := flag.Int("partial-every", 0, "request a partial hypothesis every N frames")
+	deadline := flag.Duration("deadline", 0, "per-session deadline sent to the server (0 = server default)")
+	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "how long to keep retrying the first connection")
+	verbose := flag.Bool("v", false, "print every transcript")
+	flag.Parse()
+
+	var scale asr.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = asr.ScaleTiny()
+	case "small":
+		scale = asr.ScaleSmall()
+	case "paper":
+		scale = asr.ScalePaper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	world, err := speech.NewWorld(scale.World)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noise := scale.TestNoiseScale
+	if noise <= 0 {
+		noise = 1
+	}
+	n := *utts
+	if n <= 0 {
+		n = scale.TestUtts
+	}
+	testSet := world.SynthesizeSetNoisy(n, scale.WordsPerUtt, 2002, noise)
+
+	// Wait for the server: retry the first dial until -connect-timeout
+	// so the smoke test can start server and client back to back.
+	if err := awaitServer(*addr, *connectTimeout); err != nil {
+		log.Fatal(err)
+	}
+
+	type outcome struct {
+		words   []int
+		frames  int
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, len(testSet))
+	var rejects, retries atomic.Int64
+
+	workers := *sessions
+	if workers > len(testSet) {
+		workers = len(testSet)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := range work {
+				u := testSet[i]
+				frames := speech.SpliceAll(u.Frames, scale.Context)
+				t0 := time.Now()
+				rep, err := streamOne(*addr, fmt.Sprintf("utt-%03d", i), frames, serve.SessionOptions{
+					Deadline:     *deadline,
+					PartialEvery: *partialEvery,
+				}, rng, &rejects, &retries)
+				outcomes[i] = outcome{words: rep.Words, frames: rep.Frames, latency: time.Since(t0), err: err}
+			}
+		}(w)
+	}
+	for i := range testSet {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var corpus wer.Corpus
+	failed := 0
+	frames := 0
+	latencies := make([]time.Duration, 0, len(testSet))
+	for i, u := range testSet {
+		o := outcomes[i]
+		if o.err != nil {
+			failed++
+			log.Printf("utt %03d failed: %v", i, o.err)
+			continue
+		}
+		corpus.Add(u.Words, o.words)
+		frames += o.frames
+		latencies = append(latencies, o.latency)
+		if *verbose {
+			fmt.Printf("utt %03d  ref %s\n         hyp %s\n", i, words(u.Words), words(o.words))
+		}
+	}
+
+	fmt.Printf("utterances: %d ok, %d failed   frames: %d   sessions: %d   wall: %.2fs\n",
+		len(testSet)-failed, failed, frames, workers, wall.Seconds())
+	fmt.Printf("rejects: %d (%d retried successfully)\n", rejects.Load(), retries.Load())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		fmt.Printf("latency: mean %.1fms  p50 %.1fms  p95 %.1fms  max %.1fms\n",
+			float64(sum.Milliseconds())/float64(len(latencies)),
+			ms(latencies[len(latencies)/2]),
+			ms(latencies[(len(latencies)*95)/100]),
+			ms(latencies[len(latencies)-1]))
+	}
+	if corpus.RefWords > 0 {
+		fmt.Printf("WER: %.2f%% (%d sub, %d ins, %d del over %d words)\n",
+			corpus.Rate(), corpus.Ops.Substitutions, corpus.Ops.Insertions,
+			corpus.Ops.Deletions, corpus.RefWords)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// streamOne pushes one utterance through a session, retrying
+// admission rejects with the server's hint (plus jitter) for a
+// bounded number of attempts.
+func streamOne(addr, id string, frames [][]float64, opts serve.SessionOptions, rng *rand.Rand, rejects, retries *atomic.Int64) (serve.Reply, error) {
+	const maxAttempts = 50
+	for attempt := 0; ; attempt++ {
+		opts.ID = id
+		cs, err := serve.Dial(addr, opts)
+		var rej *serve.RejectedError
+		if errors.As(err, &rej) {
+			rejects.Add(1)
+			if attempt+1 >= maxAttempts {
+				return serve.Reply{}, fmt.Errorf("rejected %d times: %w", maxAttempts, err)
+			}
+			backoff := rej.RetryAfter
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+			continue
+		}
+		if err != nil {
+			return serve.Reply{}, err
+		}
+		if attempt > 0 {
+			retries.Add(1)
+		}
+		for _, fr := range frames {
+			if err := cs.PushFrame(fr); err != nil {
+				cs.Close()
+				return serve.Reply{}, err
+			}
+		}
+		rep, _, err := cs.Finish()
+		cs.Close()
+		return rep, err
+	}
+}
+
+// awaitServer redials until the server accepts a session (which it
+// immediately abandons) or the timeout passes.
+func awaitServer(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		cs, err := serve.Dial(addr, serve.SessionOptions{ID: "probe", DialTimeout: time.Second})
+		if err == nil {
+			cs.Close()
+			return nil
+		}
+		var rej *serve.RejectedError
+		if errors.As(err, &rej) {
+			return nil // server is up, just busy
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not reachable after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func words(ws []int) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("w%02d", w)
+	}
+	return strings.Join(parts, " ")
+}

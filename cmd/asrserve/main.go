@@ -1,0 +1,149 @@
+// Command asrserve runs the streaming ASR decode service: it loads a
+// model written by asrtrain, regenerates the matching world's decode
+// graph, and serves streaming decode sessions over TCP with
+// cross-session DNN batching, bounded admission, per-request
+// deadlines, and graceful drain on SIGTERM/SIGINT (in-flight
+// sessions finish, then the process exits 0).
+//
+// Usage:
+//
+//	asrserve -model models/small-prune90.model [-scale small]
+//	         [-addr localhost:8093] [-store unbounded|nbest|accurate]
+//	         [-beam 15] [-n 0] [-batch-window 1ms] [-max-batch 0]
+//	         [-max-sessions 64] [-queue 0] [-idle-timeout 30s]
+//	         [-deadline 2m] [-drain-timeout 30s]
+//	         [-metrics-addr localhost:9090] [-v]
+//
+// The wire protocol, batching semantics, and backpressure contract
+// are documented in docs/SERVING.md; cmd/asrload is the matching
+// load generator. Transcripts are bit-identical to asrdecode on the
+// same model — batching and concurrency never change decode output.
+// -addr with port 0 picks a free port; the resolved address is
+// printed as "listening on HOST:PORT" (the line ci.sh's smoke test
+// parses).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/asr"
+	"repro/internal/decoder"
+	"repro/internal/dnn"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/speech"
+	"repro/internal/wfst"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asrserve: ")
+	scaleName := flag.String("scale", "small", "tiny, small or paper (must match asrtrain)")
+	modelPath := flag.String("model", "", "model file written by asrtrain (required)")
+	addr := flag.String("addr", "localhost:8093", "listen address (port 0 = pick a free port)")
+	storeKind := flag.String("store", "unbounded", "hypothesis store: unbounded, nbest or accurate")
+	beam := flag.Float64("beam", asr.DefaultBeam, "beam width in -log space")
+	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
+	batchWindow := flag.Duration("batch-window", time.Millisecond, "cross-session batching window (negative = opportunistic only)")
+	maxBatch := flag.Int("max-batch", 0, "max frames per batched forward pass (0 = max-sessions)")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap; excess starts are rejected")
+	queue := flag.Int("queue", 0, "batcher queue depth in frames (0 = 4*max-sessions)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "abort a session after this long without a client message")
+	deadline := flag.Duration("deadline", 2*time.Minute, "default per-session deadline (clients may set their own)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight sessions on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (enables observation)")
+	verbose := flag.Bool("v", false, "enable observation and print the metrics summary on exit")
+	flag.Parse()
+
+	if *verbose {
+		obs.Enable()
+	}
+	obs.ServeBackground(*metricsAddr)
+
+	if *modelPath == "" {
+		log.Fatal("-model is required (run asrtrain first)")
+	}
+	var scale asr.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = asr.ScaleTiny()
+	case "small":
+		scale = asr.ScaleSmall()
+	case "paper":
+		scale = asr.ScalePaper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	net, err := dnn.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := speech.NewWorld(scale.World)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if net.OutDim() != world.NumSenones() {
+		log.Fatalf("model has %d outputs but the %q world has %d senones — wrong -scale?",
+			net.OutDim(), scale.Name, world.NumSenones())
+	}
+	factory, err := asr.StoreFactoryFor(scale, *storeKind, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Net:             net,
+		Decoder:         decoder.New(wfst.Compile(world)),
+		Decode:          decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory},
+		MaxSessions:     *maxSessions,
+		QueueDepth:      *queue,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		IdleTimeout:     *idleTimeout,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s\n", bound)
+	log.Printf("model %s (%.0f%% pruned), store %s, beam %.1f, %d session slots, batch window %v",
+		*modelPath, 100*net.GlobalPruning(), *storeKind, *beam, *maxSessions, *batchWindow)
+
+	// SIGTERM/SIGINT → graceful drain: stop accepting, let in-flight
+	// sessions finish (bounded by -drain-timeout), exit 0.
+	drained := make(chan error, 1)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		log.Printf("%v: draining (%d sessions served so far)...", sig, srv.Served())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-drained; err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained cleanly; %d sessions served", srv.Served())
+	if *verbose {
+		if err := obs.Default.WriteText(os.Stderr); err != nil {
+			log.Printf("metrics summary: %v", err)
+		}
+	}
+}

@@ -46,13 +46,7 @@ func main() {
 	if *verbose {
 		obs.Enable()
 	}
-	if *metricsAddr != "" {
-		go func() {
-			if err := obs.Default.ListenAndServe(*metricsAddr); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-	}
+	obs.ServeBackground(*metricsAddr)
 
 	var scale asr.Scale
 	switch *scaleName {

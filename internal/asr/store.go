@@ -1,0 +1,35 @@
+package asr
+
+import (
+	"fmt"
+
+	"repro/internal/decoder"
+)
+
+// StoreFactoryFor maps a CLI-level store name ("unbounded", "nbest"
+// or "accurate") to a hypothesis-store factory sized for the scale,
+// with n bounding the N-best stores (0 = the scale's default N). It
+// is the single source of the geometry defaults shared by asrdecode
+// and asrserve.
+func StoreFactoryFor(scale Scale, kind string, n int) (decoder.StoreFactory, error) {
+	if n == 0 {
+		n = scale.NBestN()
+	}
+	switch kind {
+	case "unbounded":
+		return decoder.UnboundedStore(scale.DirectEntries, scale.BackupEntries, 0), nil
+	case "nbest":
+		ways := scale.NBestWays
+		if ways <= 0 {
+			ways = 8
+		}
+		sets := n / ways
+		if sets < 1 {
+			sets = 1
+		}
+		return decoder.SetAssocStore(sets, ways), nil
+	case "accurate":
+		return decoder.AccurateStore(n), nil
+	}
+	return nil, fmt.Errorf("asr: unknown store %q (want unbounded, nbest or accurate)", kind)
+}

@@ -1,11 +1,23 @@
 package decoder
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/wfst"
+)
+
+// Session lifecycle errors. PushFrame reports exactly which contract
+// was violated so long-lived callers (the serving layer) can map the
+// failure to a protocol error instead of crashing on undefined state.
+var (
+	// ErrNotStarted is returned when frames are pushed into a Session
+	// that did not come from Decoder.Start (e.g. a zero Session).
+	ErrNotStarted = errors.New("decoder: session not started (obtain one from Decoder.Start)")
+	// ErrFinished is returned when frames are pushed after Finish.
+	ErrFinished = errors.New("decoder: PushFrame after Finish")
 )
 
 // Session is one in-flight decode: it owns the mutable search state —
@@ -33,6 +45,7 @@ type Session struct {
 	res   Result
 
 	prevCycles int64
+	started    bool
 	finished   bool
 }
 
@@ -49,18 +62,22 @@ func (d *Decoder) Start(cfg Config) *Session {
 	cur := newTokenMap(1)
 	cur.set(d.fst.StartState(), &Token{Cost: 0})
 	return &Session{
-		d:     d,
-		cfg:   cfg,
-		store: newStore(),
-		cur:   cur,
+		d:       d,
+		cfg:     cfg,
+		store:   newStore(),
+		cur:     cur,
+		started: true,
 	}
 }
 
 // PushFrame processes one frame of acoustic log-posteriors
 // (frame[senone], values <= 0).
 func (s *Session) PushFrame(frame []float64) error {
+	if !s.started {
+		return ErrNotStarted
+	}
 	if s.finished {
-		return fmt.Errorf("decoder: PushFrame after Finish")
+		return ErrFinished
 	}
 	sp := obsFrameTime.Start()
 	fa := FrameActivity{}
@@ -105,13 +122,22 @@ func (s *Session) PushFrame(frame []float64) error {
 }
 
 // Active reports the number of live hypotheses; zero means the beam
-// has collapsed and no further frame can revive the search.
-func (s *Session) Active() int { return s.cur.len() }
+// has collapsed and no further frame can revive the search. A
+// never-started session has none.
+func (s *Session) Active() int {
+	if !s.started {
+		return 0
+	}
+	return s.cur.len()
+}
 
 // Partial returns the current best hypothesis without ending the
 // session — the live-captioning readout. It prefers final states but
 // falls back to the best live token.
 func (s *Session) Partial() ([]int, bool) {
+	if !s.started || s.finished {
+		return nil, false
+	}
 	// work on a copy: closure mutates, and the session must continue
 	snapshot := s.cur.clone()
 	var fa FrameActivity
@@ -140,9 +166,11 @@ func (s *Session) Partial() ([]int, bool) {
 }
 
 // Finish ends the session and returns the full result; further
-// PushFrame calls fail. Finish is idempotent.
+// PushFrame calls fail. Finish is idempotent, and on a never-started
+// session it returns the zero Result rather than touching absent
+// search state.
 func (s *Session) Finish() Result {
-	if s.finished {
+	if !s.started || s.finished {
 		return s.res
 	}
 	s.finished = true

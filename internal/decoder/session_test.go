@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -163,12 +164,49 @@ func TestSessionPushAfterFinish(t *testing.T) {
 	d := New(toyGraph())
 	s := d.Start(DefaultConfig())
 	s.Finish()
-	if err := s.PushFrame(make([]float64, 4)); err == nil {
-		t.Fatalf("PushFrame after Finish should fail")
+	if err := s.PushFrame(make([]float64, 4)); !errors.Is(err, ErrFinished) {
+		t.Fatalf("PushFrame after Finish: got %v, want ErrFinished", err)
 	}
 	r1 := s.Finish()
 	r2 := s.Finish()
 	if r1.OK != r2.OK || r1.Cost != r2.Cost {
 		t.Fatalf("Finish not idempotent")
+	}
+}
+
+// TestSessionNotStarted pins the other side of the lifecycle: a zero
+// Session (one that did not come from Decoder.Start) must fail
+// descriptively on PushFrame and answer the read-only accessors with
+// empty values instead of dereferencing absent search state.
+func TestSessionNotStarted(t *testing.T) {
+	var s Session
+	if err := s.PushFrame(make([]float64, 4)); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("PushFrame before Start: got %v, want ErrNotStarted", err)
+	}
+	if got := s.Active(); got != 0 {
+		t.Fatalf("Active on unstarted session = %d, want 0", got)
+	}
+	if words, final := s.Partial(); words != nil || final {
+		t.Fatalf("Partial on unstarted session = (%v, %v), want (nil, false)", words, final)
+	}
+	r := s.Finish()
+	if r.OK || r.Words != nil || r.Stats.Frames != 0 {
+		t.Fatalf("Finish on unstarted session = %+v, want zero Result", r)
+	}
+	// Finish must not latch the session shut either: the error stays
+	// ErrNotStarted, pointing at the real mistake.
+	if err := s.PushFrame(make([]float64, 4)); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("PushFrame after zero-session Finish: got %v, want ErrNotStarted", err)
+	}
+}
+
+// TestSessionPartialAfterFinish pins that Partial on a finished
+// session reports no hypothesis rather than resurrecting the beam.
+func TestSessionPartialAfterFinish(t *testing.T) {
+	d := New(toyGraph())
+	s := d.Start(DefaultConfig())
+	s.Finish()
+	if words, final := s.Partial(); words != nil || final {
+		t.Fatalf("Partial after Finish = (%v, %v), want (nil, false)", words, final)
 	}
 }

@@ -15,6 +15,10 @@ type Network struct {
 	// scratch activations for single-threaded inference; one buffer per
 	// layer boundary (acts[0] is the input copy).
 	acts [][]float64
+
+	// per-row scratch for batched inference, grown on demand by
+	// ForwardBatch; batchActs[r] has the same shape as acts.
+	batchActs [][][]float64
 }
 
 // NewNetwork validates that consecutive layer dimensions agree and
@@ -73,6 +77,52 @@ func (n *Network) forwardInto(acts [][]float64, in []float64) []float64 {
 // The returned slice is reused by the next call; copy it to retain.
 func (n *Network) Logits(in []float64) []float64 {
 	return n.forwardInto(n.acts, in)
+}
+
+// LogitsBatch computes pre-softmax outputs for a batch of input
+// frames in one pass. Each row is evaluated with exactly the same
+// per-row arithmetic as Logits — the loop is merely layer-major, so
+// every layer's weights are walked once per batch instead of once per
+// frame — which makes the returned logits bit-identical to calling
+// Logits(ins[r]) for each row, regardless of batch size or row order.
+// This is the amortization point the cross-session batcher in
+// internal/serve relies on. The returned rows alias per-network
+// scratch reused by the next batched call; copy to retain. Like
+// Logits, not safe for concurrent use on one Network.
+func (n *Network) LogitsBatch(ins [][]float64) [][]float64 {
+	for len(n.batchActs) < len(ins) {
+		n.batchActs = append(n.batchActs, n.newActivations())
+	}
+	for r, in := range ins {
+		copy(n.batchActs[r][0], in)
+	}
+	last := len(n.Layers)
+	sp := obsForwardTime.Start()
+	for i, l := range n.Layers {
+		for r := range ins {
+			l.Forward(n.batchActs[r][i+1], n.batchActs[r][i])
+		}
+	}
+	sp.Stop()
+	obsForwardPasses.Add(int64(len(ins)))
+	out := make([][]float64, len(ins))
+	for r := range ins {
+		out[r] = n.batchActs[r][last]
+	}
+	return out
+}
+
+// LogPosteriorsBatch writes log-softmax outputs for every input row
+// into the corresponding dst row (len(dst) == len(ins); each dst row
+// sized OutDim). Bit-identical to calling LogPosteriors row by row.
+func (n *Network) LogPosteriorsBatch(dst, ins [][]float64) {
+	if len(dst) != len(ins) {
+		panic(fmt.Sprintf("dnn: batch dst rows %d != input rows %d", len(dst), len(ins)))
+	}
+	logits := n.LogitsBatch(ins)
+	for r := range logits {
+		mat.LogSoftmax(dst[r], logits[r])
+	}
 }
 
 // Posteriors writes softmax class probabilities for in into dst and

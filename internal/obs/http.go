@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"log"
 	"net/http"
 	"net/http/pprof"
 )
@@ -38,4 +39,21 @@ func (r *Registry) Handler() http.Handler {
 func (r *Registry) ListenAndServe(addr string) error {
 	r.SetEnabled(true)
 	return http.ListenAndServe(addr, r.Handler())
+}
+
+// ServeBackground is the shared -metrics-addr plumbing of the CLIs
+// (darkside, asrdecode, asrserve): with a non-empty addr it enables
+// the Default registry and serves its Handler on a goroutine, logging
+// (not crashing) if the listener fails; with addr == "" it does
+// nothing. The process never waits on the metrics server, matching
+// how a sidecar scrape endpoint should behave.
+func ServeBackground(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := Default.ListenAndServe(addr); err != nil {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
 }

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/obs"
+)
+
+// scoreReq is one frame awaiting acoustic scoring. The submitting
+// session goroutine blocks until done is closed; the batcher writes
+// the log-posteriors into dst before closing it, so the channel close
+// publishes the result (happens-before) and dst never needs a lock.
+type scoreReq struct {
+	in  []float64 // spliced features (owned by the request until done)
+	dst []float64 // log-posteriors out, len = OutDim
+	enq time.Time // when the request entered the queue
+	ack chan struct{}
+}
+
+// batcher coalesces frames from concurrent sessions into batched DNN
+// forward passes. Sessions submit one frame at a time and wait for
+// its scores before pushing the next, so the maximum useful batch is
+// the number of in-flight sessions; the batcher takes whatever has
+// accumulated within a window of the first arrival (or up to
+// maxBatch) and runs one layer-major dnn.LogPosteriorsBatch over it.
+// Per-row arithmetic is unchanged by batching, so scores — and
+// therefore transcripts — are bit-identical to the serial path no
+// matter how frames interleave.
+//
+// The batcher owns its Network (scratch buffers are reused across
+// batches) and runs as one goroutine: start with go run, stop by
+// closing reqs once no submitter can be in flight.
+type batcher struct {
+	net      *dnn.Network
+	reqs     chan *scoreReq
+	window   time.Duration
+	maxBatch int
+	// active reports currently admitted sessions — the largest batch
+	// that can still grow this round. Once the batch covers every
+	// active session the batcher flushes without burning the rest of
+	// the window, so lightly loaded servers pay (almost) no batching
+	// latency while saturated ones still coalesce maximally.
+	active func() int
+	done   chan struct{} // closed when run exits
+}
+
+func newBatcher(net *dnn.Network, queueDepth, maxBatch int, window time.Duration, active func() int) *batcher {
+	return &batcher{
+		net:      net,
+		reqs:     make(chan *scoreReq, queueDepth),
+		window:   window,
+		maxBatch: maxBatch,
+		active:   active,
+		done:     make(chan struct{}),
+	}
+}
+
+// score submits one frame and blocks until its log-posteriors are in
+// dst. The bounded queue is the backpressure point: if it is full the
+// submitting session blocks here (and, transitively, stops reading
+// its connection, pushing back on the client through TCP). ctx only
+// bounds the enqueue — once accepted, a request is always completed,
+// so dst is never written after score returns.
+func (b *batcher) score(ctx context.Context, in, dst []float64) error {
+	r := &scoreReq{in: in, dst: dst, ack: make(chan struct{})}
+	if obs.Enabled() {
+		r.enq = time.Now()
+	}
+	select {
+	case b.reqs <- r:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	obsQueueDepth.Set(float64(len(b.reqs)))
+	<-r.ack
+	return nil
+}
+
+// stop ends the batch loop after flushing every queued request. The
+// caller must guarantee no score call is concurrent or future (the
+// server does: sessions are drained first).
+func (b *batcher) stop() {
+	close(b.reqs)
+	<-b.done
+}
+
+// run is the batch loop. It blocks for the first request, then
+// collects companions for one window (or until maxBatch) and flushes.
+// With window <= 0 it only drains what is already queued — pure
+// opportunistic batching with zero added latency.
+func (b *batcher) run() {
+	defer close(b.done)
+	batch := make([]*scoreReq, 0, b.maxBatch)
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		closed := b.collect(&batch)
+		b.flush(batch)
+		if closed {
+			return
+		}
+	}
+}
+
+// collect fills batch up to its target size, waiting at most window
+// from the first frame's arrival; reports whether reqs was closed.
+// The target is min(maxBatch, currently active sessions): each
+// session has at most one frame in flight, so once every admitted
+// session is represented there is nothing left to wait for.
+func (b *batcher) collect(batch *[]*scoreReq) bool {
+	if b.window <= 0 {
+		for len(*batch) < b.target() {
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					return true
+				}
+				*batch = append(*batch, r)
+			default:
+				return false
+			}
+		}
+		return false
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(*batch) < b.target() {
+		select {
+		case r, ok := <-b.reqs:
+			if !ok {
+				return true
+			}
+			*batch = append(*batch, r)
+		case <-timer.C:
+			return false
+		}
+	}
+	return false
+}
+
+func (b *batcher) target() int {
+	t := b.maxBatch
+	if b.active != nil {
+		if a := b.active(); a < t {
+			t = a
+		}
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// flush runs one batched forward pass and releases the waiters.
+func (b *batcher) flush(batch []*scoreReq) {
+	if obs.Enabled() {
+		now := time.Now()
+		for _, r := range batch {
+			if !r.enq.IsZero() {
+				obsQueueWait.Histogram().Observe(now.Sub(r.enq).Seconds())
+			}
+		}
+		obsBatchSize.Observe(float64(len(batch)))
+	}
+	ins := make([][]float64, len(batch))
+	dsts := make([][]float64, len(batch))
+	for i, r := range batch {
+		ins[i] = r.in
+		dsts[i] = r.dst
+	}
+	b.net.LogPosteriorsBatch(dsts, ins)
+	for _, r := range batch {
+		close(r.ack)
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// RejectedError is returned by Dial when admission control refuses
+// the session; RetryAfter is the server's backoff hint.
+type RejectedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("serve: session rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// SessionOptions parameterize one client session.
+type SessionOptions struct {
+	ID string
+	// Deadline bounds the whole session server-side (0 = the server's
+	// default).
+	Deadline time.Duration
+	// PartialEvery asks for a partial hypothesis every N frames;
+	// partials are collected by Finish.
+	PartialEvery int
+	// DialTimeout bounds the TCP connect (0 = 10s).
+	DialTimeout time.Duration
+}
+
+// ClientSession is one streaming decode against an asrserve instance:
+// Dial, PushFrame for every spliced feature vector, then Finish. Not
+// safe for concurrent use.
+type ClientSession struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial opens a session. A *RejectedError means admission control
+// turned the session away and carries the server's retry-after hint.
+func Dial(addr string, opts SessionOptions) (*ClientSession, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cs := &ClientSession{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+	cs.enc = json.NewEncoder(cs.bw)
+	err = cs.send(Request{
+		Op:           OpStart,
+		ID:           opts.ID,
+		DeadlineMS:   opts.Deadline.Milliseconds(),
+		PartialEvery: opts.PartialEvery,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var rep Reply
+	if err := cs.dec.Decode(&rep); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: reading admission reply: %w", err)
+	}
+	switch rep.Event {
+	case EventReady:
+		return cs, nil
+	case EventReject:
+		conn.Close()
+		return nil, &RejectedError{
+			Reason:     rep.Reason,
+			RetryAfter: time.Duration(rep.RetryAfterMS) * time.Millisecond,
+		}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: unexpected admission reply %q: %s", rep.Event, rep.Reason)
+	}
+}
+
+// PushFrame streams one spliced feature vector. Replies (partials,
+// errors) are not read here — the stream stays write-only until
+// Finish, so frames pipeline without a per-frame round trip.
+func (cs *ClientSession) PushFrame(frame []float64) error {
+	return cs.send(Request{Op: OpFrame, Data: frame})
+}
+
+// Finish ends the session and reads replies until the final result,
+// returning it along with any partial hypotheses that were streamed.
+// A server-side error event is returned as an error.
+func (cs *ClientSession) Finish() (Reply, []Reply, error) {
+	var partials []Reply
+	if err := cs.send(Request{Op: OpFinish}); err != nil {
+		return Reply{}, nil, err
+	}
+	for {
+		var rep Reply
+		if err := cs.dec.Decode(&rep); err != nil {
+			return Reply{}, partials, fmt.Errorf("serve: reading result: %w", err)
+		}
+		switch rep.Event {
+		case EventPartial:
+			partials = append(partials, rep)
+		case EventResult:
+			return rep, partials, nil
+		case EventError:
+			return Reply{}, partials, fmt.Errorf("serve: session failed: %s", rep.Reason)
+		default:
+			return Reply{}, partials, fmt.Errorf("serve: unexpected reply %q", rep.Event)
+		}
+	}
+}
+
+// Close releases the connection; safe after Finish or on error paths.
+func (cs *ClientSession) Close() error { return cs.conn.Close() }
+
+func (cs *ClientSession) send(req Request) error {
+	if err := cs.enc.Encode(req); err != nil {
+		return err
+	}
+	return cs.bw.Flush()
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// session is the per-connection state of one streaming decode.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	dec  *json.Decoder
+	bw   *bufio.Writer
+	enc  *json.Encoder
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// handle runs one connection: admission, then the start/frame/finish
+// message loop. Every exit path sends a terminal reply (reject,
+// result, or error) unless the connection itself is gone.
+func (s *Server) handle(conn net.Conn) {
+	defer s.track(conn, false)
+	defer conn.Close()
+
+	c := &session{
+		srv:  s,
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		bw:   bufio.NewWriter(conn),
+	}
+	c.enc = json.NewEncoder(c.bw)
+
+	// The start message is read under the idle timeout so a dialed-
+	// but-silent connection cannot hold a handler goroutine forever.
+	req, err := c.read()
+	if err != nil {
+		return
+	}
+	if req.Op != OpStart {
+		_ = c.reply(Reply{Event: EventError, Reason: fmt.Sprintf("first message must be %q, got %q", OpStart, req.Op)})
+		obsErrors.Inc()
+		return
+	}
+
+	ok, reason := s.admit()
+	if !ok {
+		obsRejects.Inc()
+		_ = c.reply(Reply{
+			Event:        EventReject,
+			Reason:       reason,
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	defer s.release()
+	obsSessionsTotal.Inc()
+	obsSessionsActive.Add(1)
+	defer obsSessionsActive.Add(-1)
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	c.ctx, c.cancel = context.WithTimeout(context.Background(), deadline)
+	defer c.cancel()
+
+	if err := c.reply(Reply{Event: EventReady, Session: req.ID}); err != nil {
+		obsErrors.Inc()
+		return
+	}
+	sp := obsRequestTime.Start()
+	c.run(req.PartialEvery)
+	sp.Stop()
+}
+
+// run drives the decode loop after admission.
+func (c *session) run(partialEvery int) {
+	dec := c.srv.cfg.Decoder.Start(c.srv.cfg.Decode)
+	scores := make([]float64, c.srv.outDim)
+	frames := 0
+	for {
+		req, err := c.read()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch req.Op {
+		case OpFrame:
+			if len(req.Data) != c.srv.inDim {
+				c.fail(fmt.Errorf("frame has %d features, model wants %d", len(req.Data), c.srv.inDim))
+				return
+			}
+			// One in-flight frame per session: score (possibly batched
+			// with other sessions' frames), then advance the search.
+			if err := c.srv.batcher.score(c.ctx, req.Data, scores); err != nil {
+				c.fail(err)
+				return
+			}
+			if err := dec.PushFrame(scores); err != nil {
+				c.fail(err)
+				return
+			}
+			frames++
+			if partialEvery > 0 && frames%partialEvery == 0 {
+				words, _ := dec.Partial()
+				if err := c.reply(Reply{Event: EventPartial, Words: words, Frames: frames}); err != nil {
+					obsErrors.Inc()
+					return
+				}
+			}
+		case OpFinish:
+			res := dec.Finish()
+			err := c.reply(Reply{
+				Event:  EventResult,
+				OK:     res.OK,
+				Words:  res.Words,
+				Cost:   res.Cost,
+				Frames: frames,
+			})
+			if err != nil {
+				obsErrors.Inc()
+				return
+			}
+			c.srv.served.Add(1)
+			return
+		default:
+			c.fail(fmt.Errorf("unknown op %q", req.Op))
+			return
+		}
+	}
+}
+
+// read decodes the next request under the idle timeout and the
+// session deadline, mapping expiry to a deadline error.
+func (c *session) read() (Request, error) {
+	limit := time.Now().Add(c.srv.cfg.IdleTimeout)
+	if c.ctx != nil {
+		if dl, ok := c.ctx.Deadline(); ok && dl.Before(limit) {
+			limit = dl
+		}
+	}
+	_ = c.conn.SetReadDeadline(limit)
+	var req Request
+	if err := c.dec.Decode(&req); err != nil {
+		if c.ctx != nil && c.ctx.Err() != nil {
+			return req, context.DeadlineExceeded
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return req, fmt.Errorf("idle timeout: %w", os.ErrDeadlineExceeded)
+		}
+		return req, err
+	}
+	return req, nil
+}
+
+// fail reports a session-fatal condition to the client and the
+// metrics, classifying deadline/idle expiry separately from protocol
+// and I/O errors.
+func (c *session) fail(err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		obsDeadlineExceeded.Inc()
+	} else {
+		obsErrors.Inc()
+	}
+	_ = c.reply(Reply{Event: EventError, Reason: err.Error()})
+}
+
+// reply writes one reply line and flushes it to the socket. The
+// write deadline keeps a dead peer from pinning the handler (and,
+// during drain, the whole shutdown) on a full send buffer.
+func (c *session) reply(r Reply) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+	if err := c.enc.Encode(r); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

@@ -1,0 +1,69 @@
+package serve
+
+// Wire protocol: one TCP connection per decode session, carrying
+// newline-delimited JSON in both directions (encoding/json values,
+// one per line). The client sends Requests, the server answers with
+// Replies. docs/SERVING.md is the normative description.
+//
+// Client → server:
+//
+//	{"op":"start","id":"utt-3","deadline_ms":30000,"partial_every":8}
+//	{"op":"frame","data":[...]}        // spliced features, len = InDim
+//	{"op":"finish"}
+//
+// Server → client:
+//
+//	{"event":"ready","session":"utt-3"}
+//	{"event":"reject","reason":"...","retry_after_ms":250}
+//	{"event":"partial","words":[...]}  // every partial_every frames
+//	{"event":"result","ok":true,"words":[...],"cost":...,"frames":42}
+//	{"event":"error","reason":"..."}
+
+// Request ops.
+const (
+	OpStart  = "start"
+	OpFrame  = "frame"
+	OpFinish = "finish"
+)
+
+// Reply events.
+const (
+	EventReady   = "ready"
+	EventReject  = "reject"
+	EventPartial = "partial"
+	EventResult  = "result"
+	EventError   = "error"
+)
+
+// Request is one client → server message.
+type Request struct {
+	Op string `json:"op"`
+
+	// start fields
+	ID string `json:"id,omitempty"` // client-chosen session label, echoed in ready
+	// DeadlineMS bounds the whole session in wall-clock milliseconds
+	// from admission (0 = the server's default deadline).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// PartialEvery asks for a partial hypothesis event every N frames
+	// (0 = no partials).
+	PartialEvery int `json:"partial_every,omitempty"`
+
+	// frame field: one spliced feature vector, len = network InDim.
+	Data []float64 `json:"data,omitempty"`
+}
+
+// Reply is one server → client message.
+type Reply struct {
+	Event   string `json:"event"`
+	Session string `json:"session,omitempty"` // ready: echoed start ID
+	Reason  string `json:"reason,omitempty"`  // reject / error detail
+	// RetryAfterMS accompanies reject: the client should back off at
+	// least this long before redialing (admission backpressure).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+
+	// partial / result payload
+	Words  []int   `json:"words,omitempty"`
+	Cost   float64 `json:"cost,omitempty"`
+	OK     bool    `json:"ok,omitempty"`
+	Frames int     `json:"frames,omitempty"`
+}

@@ -1,0 +1,271 @@
+// Package serve is the streaming ASR decode service: a long-lived,
+// stdlib-only TCP server that turns the repo's batch decode pipeline
+// into the serving deployment the paper's accelerators target. Each
+// connection is one decoder.Session fed frame by frame; acoustic
+// scoring is amortized by a cross-session dynamic batcher that
+// coalesces frames arriving from concurrent sessions into one
+// layer-major dnn forward pass (bit-identical per row, so transcripts
+// match the offline CLIs exactly).
+//
+// The production plumbing around that core is the point of the
+// package: bounded admission (explicit reject with a retry-after hint
+// instead of unbounded queue growth), per-request deadlines and idle
+// timeouts, graceful drain on shutdown (in-flight sessions finish,
+// new ones are refused), and full internal/obs instrumentation
+// (active sessions, batch-size histogram, queue depth/wait, rejects,
+// per-request latency). It is where the paper's "dark side" becomes
+// operational: a 90%-pruned model inflates per-frame search cost, so
+// under concurrent load the serve.request_seconds histogram shows the
+// tail blowup that Figure 4's workload explosion predicts.
+//
+// Protocol and semantics are documented in docs/SERVING.md;
+// cmd/asrserve is the binary and cmd/asrload the load generator.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/decoder"
+	"repro/internal/dnn"
+)
+
+// Config assembles a Server. Net and Graph are required; everything
+// else has serving-grade defaults.
+type Config struct {
+	// Net scores frames. The server takes ownership: the batcher
+	// reuses its scratch buffers, so the caller must not run inference
+	// on it concurrently (pass a Clone to keep using the original).
+	Net *dnn.Network
+	// Decoder is the shared read-only search graph wrapper; any
+	// number of sessions decode against it concurrently.
+	Decoder *decoder.Decoder
+	// Decode configures each session's search (beam, store factory,
+	// acoustic scale). The store factory is invoked once per session.
+	Decode decoder.Config
+
+	// MaxSessions bounds concurrently admitted sessions; starts
+	// beyond it are rejected with a retry-after hint (default 64).
+	MaxSessions int
+	// QueueDepth bounds the batcher's frame queue; a full queue
+	// blocks sessions (TCP backpressure), never grows (default
+	// 4*MaxSessions).
+	QueueDepth int
+	// BatchWindow is how long the batcher waits from the first queued
+	// frame for companions before flushing a forward pass (default
+	// 1ms; negative = flush immediately, batching only what is
+	// already queued).
+	BatchWindow time.Duration
+	// MaxBatch caps frames per forward pass (default MaxSessions).
+	MaxBatch int
+
+	// IdleTimeout aborts a session when the client sends nothing for
+	// this long (default 30s).
+	IdleTimeout time.Duration
+	// DefaultDeadline bounds a whole session when the client does not
+	// set deadline_ms (default 2m).
+	DefaultDeadline time.Duration
+	// RetryAfter is the backoff hint attached to admission rejects
+	// (default 250ms).
+	RetryAfter time.Duration
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Net == nil || c.Decoder == nil {
+		return errors.New("serve: Config.Net and Config.Decoder are required")
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxSessions
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.MaxSessions
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	return nil
+}
+
+// Server is the streaming decode service. Create with New, bind with
+// Listen, run with Serve, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	inDim   int
+	outDim  int
+	batcher *batcher
+
+	ln       net.Listener
+	draining atomic.Bool
+	sessions sync.WaitGroup // admitted sessions in flight
+	sem      chan struct{}  // admission slots
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // open connections, for forced close
+
+	served atomic.Int64 // sessions completed (for the CLI summary)
+}
+
+// New validates cfg, applies defaults, and returns an unbound server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		cfg:    cfg,
+		inDim:  cfg.Net.InDim(),
+		outDim: cfg.Net.OutDim(),
+		sem:    make(chan struct{}, cfg.MaxSessions),
+		conns:  map[net.Conn]struct{}{},
+	}
+	// len(sem) is the live admitted-session count: the batcher uses
+	// it to flush as soon as every in-flight session is represented
+	// in the batch instead of always waiting out the window.
+	srv.batcher = newBatcher(cfg.Net, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow,
+		func() int { return len(srv.sem) })
+	return srv, nil
+}
+
+// Listen binds the server to addr ("localhost:0" picks a free port)
+// and returns the resolved address. Call before Serve.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the batcher and the accept loop; it blocks until
+// Shutdown (returning nil) or a listener failure. One connection is
+// one decode session.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("serve: Serve before Listen")
+	}
+	go s.batcher.run()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.track(conn, true)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Served reports the number of sessions completed successfully.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Shutdown drains the server: the listener closes immediately (new
+// connections are refused, and a session start racing the close is
+// rejected with a "draining" reply), in-flight sessions run to
+// completion, then the batcher flushes and stops. If ctx expires
+// first, the remaining connections are closed forcibly and ctx's
+// error is returned. Shutdown is idempotent only in its drain effect;
+// call it once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// The mutex orders the drain flag against admissions: after it is
+	// released, no handler can Add to the sessions WaitGroup anymore
+	// (admit re-checks the flag under the same mutex), so Wait below
+	// cannot race a first Add on an empty group.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.closeConns()
+		<-done // handlers exit promptly once their conns are closed
+	}
+	s.batcher.stop()
+	return err
+}
+
+// admit claims an admission slot, or explains why it cannot. On
+// success the caller owns one sessions WaitGroup count and one sem
+// slot, both returned via release.
+func (s *Server) admit() (ok bool, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return false, "at capacity"
+	}
+	s.sessions.Add(1)
+	return true, ""
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.sessions.Done()
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+}
