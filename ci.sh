@@ -34,8 +34,47 @@ go test -race ./...
 # and signal handling — which unit tests can't.
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
-go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload
+go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload ./cmd/asrdecode
 "$smoke"/asrtrain -scale tiny -out "$smoke/models" >/dev/null
+
+# Backend-parity smoke: decode the same pruned model with the dense
+# and the CSR sparse scoring kernels forced, and require byte-for-byte
+# identical output (transcripts, stats, WER). This is the user-visible
+# face of the bit-identity contract in DESIGN.md §6c.
+"$smoke"/asrdecode -scale tiny -model "$smoke/models/tiny-prune90.model" \
+	-backend dense >"$smoke/decode.dense"
+"$smoke"/asrdecode -scale tiny -model "$smoke/models/tiny-prune90.model" \
+	-backend sparse >"$smoke/decode.sparse"
+if ! cmp -s "$smoke/decode.dense" "$smoke/decode.sparse"; then
+	echo "backend parity broken: dense and sparse decodes differ:" >&2
+	diff "$smoke/decode.dense" "$smoke/decode.sparse" >&2 || true
+	exit 1
+fi
+echo "backend parity smoke ok (dense == sparse byte-for-byte)"
+
+# Distil the dense-vs-sparse forward benches into BENCH_dnn.json and
+# enforce the acceptance floor: sparse >= 3x faster than dense on the
+# 90%-pruned FC stack.
+go test -run '^$' -bench '^BenchmarkForward' -benchtime=15x ./internal/dnn \
+	>"$smoke/bench.out"
+cat "$smoke/bench.out"
+awk '
+	/^BenchmarkForward\// {
+		split($1, p, "/"); sub(/-[0-9]+$/, "", p[3])
+		ns[p[2] "/" p[3]] = $3
+	}
+	/^BenchmarkForwardAuto/ { ns["auto/p90"] = $3 }
+	END {
+		printf "{\n  \"bench\": \"BenchmarkForward\", \"unit\": \"ns/op\",\n"
+		printf "  \"dense\":  {\"p0\": %s, \"p50\": %s, \"p90\": %s},\n", ns["dense/p0"], ns["dense/p50"], ns["dense/p90"]
+		printf "  \"sparse\": {\"p0\": %s, \"p50\": %s, \"p90\": %s},\n", ns["sparse/p0"], ns["sparse/p50"], ns["sparse/p90"]
+		printf "  \"auto\":   {\"p90\": %s},\n", ns["auto/p90"]
+		speedup = ns["dense/p90"] / ns["sparse/p90"]
+		printf "  \"p90_speedup\": %.2f\n}\n", speedup
+		exit speedup < 3 ? 1 : 0
+	}' "$smoke/bench.out" >BENCH_dnn.json ||
+	{ echo "sparse kernel under the 3x floor at p90 (see BENCH_dnn.json)" >&2; exit 1; }
+echo "BENCH_dnn.json: $(grep p90_speedup BENCH_dnn.json)"
 "$smoke"/asrserve -scale tiny -model "$smoke/models/tiny-prune90.model" \
 	-addr localhost:0 >"$smoke/serve.out" 2>"$smoke/serve.err" &
 server=$!

@@ -6,7 +6,15 @@
 //
 //	asrdecode [-scale small] [-model models/small-prune90.model]
 //	          [-store unbounded|nbest|accurate] [-beam 15] [-n 0]
-//	          [-workers 0] [-metrics-addr localhost:9090] [-v]
+//	          [-backend auto|dense|sparse] [-workers 0]
+//	          [-metrics-addr localhost:9090] [-v]
+//
+// -backend selects the acoustic-scoring kernels of the compiled
+// inference plan: auto (default) picks the CSR sparse kernel for FC
+// layers whose weight density is below the threshold, dense and
+// sparse force one kernel everywhere. Transcripts, WER and
+// confidences are bit-identical across backends (ci.sh pins this);
+// only the DNN-side latency changes.
 //
 // -metrics-addr serves the internal/obs registry over HTTP while the
 // decode runs (/metrics JSON, /metrics/text, /debug/pprof/); -v also
@@ -42,6 +50,7 @@ func main() {
 	beam := flag.Float64("beam", asr.DefaultBeam, "beam width in -log space")
 	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
 	lazy := flag.Bool("lazy", false, "use on-the-fly WFST composition instead of the precompiled graph")
+	backendFlag := flag.String("backend", "auto", "acoustic-scoring kernels: auto, dense or sparse")
 	verbose := flag.Bool("v", false, "print every transcript")
 	workersFlag := flag.Int("workers", 0, "concurrent utterance decodes (0 = one per core, 1 = serial)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (enables observation)")
@@ -68,10 +77,16 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 
+	backend, err := dnn.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	net, err := dnn.LoadFile(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	net.SetPlanConfig(dnn.PlanConfig{Backend: backend})
 
 	world, err := speech.NewWorld(scale.World)
 	if err != nil {
@@ -99,11 +114,15 @@ func main() {
 	}
 
 	// Engine-style fan-out: utterances are independent, so score and
-	// decode them across a worker pool. Each worker clones the network
-	// (inference reuses per-network scratch buffers) and opens one
-	// decode session per utterance; the decoder and graph are shared
+	// decode them across a worker pool. All workers share the model's
+	// one compiled inference plan (read-only) and own only an Exec of
+	// scoring scratch; the decoder and graph are likewise shared
 	// read-only. Outcomes land per index and aggregate in order, so the
 	// printed transcripts and WER match a serial run exactly.
+	plan := net.Plan()
+	if *verbose {
+		log.Printf("backend %s: %s", backend, plan.Describe())
+	}
 	type outcome struct {
 		words []int
 		stats decoder.Stats
@@ -125,14 +144,14 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := net.Clone()
+			ex := plan.NewExec()
 			for i := range work {
 				u := testSet[i]
 				spliced := speech.SpliceAll(u.Frames, scale.Context)
 				scores := make([][]float64, len(spliced))
 				for t, in := range spliced {
 					vec := make([]float64, world.NumSenones())
-					local.LogPosteriors(vec, in)
+					ex.LogPosteriors(vec, in)
 					scores[t] = vec
 				}
 				r := dec.Decode(scores, decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory})

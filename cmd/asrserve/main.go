@@ -9,10 +9,15 @@
 //
 //	asrserve -model models/small-prune90.model [-scale small]
 //	         [-addr localhost:8093] [-store unbounded|nbest|accurate]
-//	         [-beam 15] [-n 0] [-batch-window 1ms] [-max-batch 0]
+//	         [-beam 15] [-n 0] [-backend auto|dense|sparse]
+//	         [-batch-window 1ms] [-max-batch 0]
 //	         [-max-sessions 64] [-queue 0] [-idle-timeout 30s]
 //	         [-deadline 2m] [-drain-timeout 30s]
 //	         [-metrics-addr localhost:9090] [-v]
+//
+// -backend selects the kernels of the compiled scoring plan (auto
+// picks CSR sparse for pruned layers); transcripts are bit-identical
+// across backends, only forward-pass latency changes.
 //
 // The wire protocol, batching semantics, and backpressure contract
 // are documented in docs/SERVING.md; cmd/asrload is the matching
@@ -51,6 +56,7 @@ func main() {
 	storeKind := flag.String("store", "unbounded", "hypothesis store: unbounded, nbest or accurate")
 	beam := flag.Float64("beam", asr.DefaultBeam, "beam width in -log space")
 	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
+	backendFlag := flag.String("backend", "auto", "acoustic-scoring kernels: auto, dense or sparse")
 	batchWindow := flag.Duration("batch-window", time.Millisecond, "cross-session batching window (negative = opportunistic only)")
 	maxBatch := flag.Int("max-batch", 0, "max frames per batched forward pass (0 = max-sessions)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap; excess starts are rejected")
@@ -82,6 +88,10 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 
+	backend, err := dnn.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	net, err := dnn.LoadFile(*modelPath)
 	if err != nil {
 		log.Fatal(err)
@@ -101,6 +111,7 @@ func main() {
 
 	srv, err := serve.New(serve.Config{
 		Net:             net,
+		Backend:         backend,
 		Decoder:         decoder.New(wfst.Compile(world)),
 		Decode:          decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory},
 		MaxSessions:     *maxSessions,
@@ -120,6 +131,7 @@ func main() {
 	fmt.Printf("listening on %s\n", bound)
 	log.Printf("model %s (%.0f%% pruned), store %s, beam %.1f, %d session slots, batch window %v",
 		*modelPath, 100*net.GlobalPruning(), *storeKind, *beam, *maxSessions, *batchWindow)
+	log.Printf("backend %s: %s", backend, net.Plan().Describe())
 
 	// SIGTERM/SIGINT → graceful drain: stop accepting, let in-flight
 	// sessions finish (bounded by -drain-timeout), exit 0.

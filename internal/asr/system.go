@@ -107,6 +107,18 @@ func Build(scale Scale, levels []int) (*System, error) {
 	return sys, nil
 }
 
+// SetBackend sets the acoustic-scoring backend (auto/dense/sparse)
+// every model's compiled inference plan uses from now on, dropping
+// any previously compiled plans. Decode outputs are bit-identical
+// across backends; only the measured DNN-side cost changes. Call
+// before decoding starts (it is not synchronized against in-flight
+// inference).
+func (s *System) SetBackend(b dnn.Backend) {
+	for _, net := range s.Models {
+		net.SetPlanConfig(dnn.PlanConfig{Backend: b})
+	}
+}
+
 // Levels returns the available pruning levels in ascending order.
 func (s *System) Levels() []int {
 	var out []int
@@ -132,8 +144,10 @@ func (s *System) Scores(level int) [][][]float64 {
 		panic(fmt.Sprintf("asr: no model at pruning level %d", level))
 	}
 	// Forward passes dominate experiment setup time; utterances are
-	// independent, so score them on all cores. Each worker clones the
-	// network because inference reuses per-network scratch buffers.
+	// independent, so score them on all cores. All workers share the
+	// model's one compiled inference plan (read-only) and own only an
+	// Exec of per-worker scratch — no per-worker Network clones.
+	plan := net.Plan()
 	all := make([][][]float64, len(s.TestSet))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(s.TestSet) {
@@ -148,14 +162,14 @@ func (s *System) Scores(level int) [][][]float64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := net.Clone()
+			ex := plan.NewExec()
 			for i := range work {
 				u := s.TestSet[i]
 				spliced := speech.SpliceAll(u.Frames, s.Scale.Context)
 				scores := make([][]float64, len(spliced))
 				for t, in := range spliced {
 					vec := make([]float64, s.World.NumSenones())
-					local.LogPosteriors(vec, in)
+					ex.LogPosteriors(vec, in)
 					scores[t] = vec
 				}
 				all[i] = scores

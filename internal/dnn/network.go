@@ -2,6 +2,7 @@ package dnn
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/obs"
@@ -9,16 +10,24 @@ import (
 
 // Network is a feed-forward stack of layers ending in a linear layer
 // whose outputs are senone logits; Posteriors applies the softmax.
+//
+// Inference on a Network runs through a compiled inference plan
+// (plan.go): Logits and friends are thin wrappers over a lazily
+// compiled, cached Plan plus one private Exec carrying the scratch.
+// The cached plan is invalidated whenever the weights change
+// (training steps, pruning, quantization), so the wrappers always
+// execute the current weights; callers that fan inference across
+// goroutines share the one Plan and give each worker its own Exec.
 type Network struct {
 	Layers []Layer
 
-	// scratch activations for single-threaded inference; one buffer per
-	// layer boundary (acts[0] is the input copy).
-	acts [][]float64
-
-	// per-row scratch for batched inference, grown on demand by
-	// ForwardBatch; batchActs[r] has the same shape as acts.
-	batchActs [][][]float64
+	// planMu guards the lazily compiled plan/exec pair and the config
+	// it is compiled under. Compilation may be triggered concurrently
+	// (e.g. dnnsim.Analyze from parallel experiment configs).
+	planMu  sync.Mutex
+	planCfg PlanConfig
+	plan    *Plan
+	exec    *Exec
 }
 
 // NewNetwork validates that consecutive layer dimensions agree and
@@ -30,9 +39,53 @@ func NewNetwork(layers ...Layer) *Network {
 				layers[i-1].Name(), layers[i-1].OutDim(), layers[i].Name(), layers[i].InDim()))
 		}
 	}
-	n := &Network{Layers: layers}
-	n.acts = n.newActivations()
-	return n
+	return &Network{Layers: layers}
+}
+
+// SetPlanConfig sets the configuration future cached plans compile
+// under (the -backend flag of the commands lands here) and drops any
+// previously compiled plan.
+func (n *Network) SetPlanConfig(cfg PlanConfig) {
+	n.planMu.Lock()
+	n.planCfg = cfg
+	n.plan, n.exec = nil, nil
+	n.planMu.Unlock()
+}
+
+// InvalidatePlan drops the cached plan so the next inference or Plan
+// call recompiles from the current weights. Called by every weight
+// mutation site (training steps, pruning, quantization).
+func (n *Network) InvalidatePlan() {
+	n.planMu.Lock()
+	n.plan, n.exec = nil, nil
+	n.planMu.Unlock()
+}
+
+// Plan returns the network's cached compiled plan, compiling it on
+// first use (or after an invalidation) under the config set by
+// SetPlanConfig. The returned plan is shared read-only: concurrent
+// workers should each obtain their own Exec from it.
+func (n *Network) Plan() *Plan {
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	if n.plan == nil {
+		n.plan = Compile(n, n.planCfg)
+	}
+	return n.plan
+}
+
+// ownExec returns the Exec backing the Network's own inference
+// wrappers. Like the wrappers themselves it is single-goroutine.
+func (n *Network) ownExec() *Exec {
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	if n.plan == nil {
+		n.plan = Compile(n, n.planCfg)
+	}
+	if n.exec == nil {
+		n.exec = n.plan.NewExec()
+	}
+	return n.exec
 }
 
 // InDim reports the input dimensionality of the network.
@@ -50,10 +103,13 @@ func (n *Network) newActivations() [][]float64 {
 	return acts
 }
 
-// forwardInto runs the network over in, leaving every intermediate
-// activation in acts; returns the logits slice (aliased into acts).
-// The instrumented branch is taken only while observation is enabled,
-// so the plain path pays one atomic load for the whole pass.
+// forwardInto runs the raw dense layer stack over in, leaving every
+// intermediate activation in acts; returns the logits slice (aliased
+// into acts). This is the training path: the Trainer needs every
+// activation for backprop and mutates weights between batches, so it
+// bypasses plan compilation. The instrumented branch is taken only
+// while observation is enabled, so the plain path pays one atomic
+// load for the whole pass.
 func (n *Network) forwardInto(acts [][]float64, in []float64) []float64 {
 	copy(acts[0], in)
 	if !obs.Enabled() {
@@ -73,56 +129,29 @@ func (n *Network) forwardInto(acts [][]float64, in []float64) []float64 {
 	return acts[len(acts)-1]
 }
 
-// Logits computes the pre-softmax outputs for one input frame.
-// The returned slice is reused by the next call; copy it to retain.
+// Logits computes the pre-softmax outputs for one input frame through
+// the cached compiled plan. The returned slice is reused by the next
+// call; copy it to retain. Not safe for concurrent use on one Network
+// — concurrent workers should share n.Plan() and own per-worker Execs.
 func (n *Network) Logits(in []float64) []float64 {
-	return n.forwardInto(n.acts, in)
+	return n.ownExec().Logits(in)
 }
 
 // LogitsBatch computes pre-softmax outputs for a batch of input
-// frames in one pass. Each row is evaluated with exactly the same
-// per-row arithmetic as Logits — the loop is merely layer-major, so
-// every layer's weights are walked once per batch instead of once per
-// frame — which makes the returned logits bit-identical to calling
-// Logits(ins[r]) for each row, regardless of batch size or row order.
-// This is the amortization point the cross-session batcher in
-// internal/serve relies on. The returned rows alias per-network
+// frames in one layer-major pass through the cached plan; see
+// Exec.LogitsBatch for the bit-identity contract the cross-session
+// batcher in internal/serve relies on. The returned rows alias
 // scratch reused by the next batched call; copy to retain. Like
 // Logits, not safe for concurrent use on one Network.
 func (n *Network) LogitsBatch(ins [][]float64) [][]float64 {
-	for len(n.batchActs) < len(ins) {
-		n.batchActs = append(n.batchActs, n.newActivations())
-	}
-	for r, in := range ins {
-		copy(n.batchActs[r][0], in)
-	}
-	last := len(n.Layers)
-	sp := obsForwardTime.Start()
-	for i, l := range n.Layers {
-		for r := range ins {
-			l.Forward(n.batchActs[r][i+1], n.batchActs[r][i])
-		}
-	}
-	sp.Stop()
-	obsForwardPasses.Add(int64(len(ins)))
-	out := make([][]float64, len(ins))
-	for r := range ins {
-		out[r] = n.batchActs[r][last]
-	}
-	return out
+	return n.ownExec().LogitsBatch(ins)
 }
 
 // LogPosteriorsBatch writes log-softmax outputs for every input row
 // into the corresponding dst row (len(dst) == len(ins); each dst row
 // sized OutDim). Bit-identical to calling LogPosteriors row by row.
 func (n *Network) LogPosteriorsBatch(dst, ins [][]float64) {
-	if len(dst) != len(ins) {
-		panic(fmt.Sprintf("dnn: batch dst rows %d != input rows %d", len(dst), len(ins)))
-	}
-	logits := n.LogitsBatch(ins)
-	for r := range logits {
-		mat.LogSoftmax(dst[r], logits[r])
-	}
+	n.ownExec().LogPosteriorsBatch(dst, ins)
 }
 
 // Posteriors writes softmax class probabilities for in into dst and
@@ -221,5 +250,9 @@ func (n *Network) Clone() *Network {
 			panic(fmt.Sprintf("dnn: cannot clone layer type %T", l))
 		}
 	}
-	return NewNetwork(layers...)
+	c := NewNetwork(layers...)
+	n.planMu.Lock()
+	c.planCfg = n.planCfg
+	n.planMu.Unlock()
+	return c
 }

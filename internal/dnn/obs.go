@@ -17,6 +17,20 @@ var (
 		"non-zero FC weights of the most recently pruned/loaded network")
 	obsPrunedFraction = obs.NewGauge("dnn.pruned_fraction", "fraction",
 		"global pruning fraction of the most recently pruned/loaded network")
+
+	// Compiled-plan metrics (plan.go): one compile counter, the
+	// per-FC-layer weight density observed at compile time, and one
+	// kernel timer per backend so the dense/sparse split of forward
+	// time is directly readable from /metrics.
+	obsPlanCompiles = obs.NewCounter("dnn.plan_compiles", "plans",
+		"inference plans compiled (first use and every invalidation)")
+	obsPlanLayerDensity = obs.NewHistogram("dnn.plan_layer_density", "fraction",
+		"per-FC-layer weight density (NNZ/weights) observed at plan compile time",
+		[]float64{0.05, 0.1, 0.2, 1.0 / 3, 0.5, 0.75, 0.9})
+	obsDenseKernelTime = obs.NewTimer("dnn.dense_kernel_seconds",
+		"wall-clock seconds per dense FC kernel evaluation (single-frame or whole batch)")
+	obsSparseKernelTime = obs.NewTimer("dnn.sparse_kernel_seconds",
+		"wall-clock seconds per CSR sparse FC kernel evaluation (single-frame or whole batch)")
 )
 
 // PublishWeightStats records the network's non-zero weight count and

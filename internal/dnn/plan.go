@@ -1,0 +1,341 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// Backend names an acoustic-scoring kernel policy for compiled
+// inference plans.
+type Backend string
+
+const (
+	// BackendAuto picks per FC layer: the CSR sparse kernel when the
+	// layer's weight density is at or below the plan's threshold, the
+	// dense matvec otherwise.
+	BackendAuto Backend = "auto"
+	// BackendDense forces the dense matvec for every FC layer.
+	BackendDense Backend = "dense"
+	// BackendSparse forces the CSR sparse kernel for every FC layer.
+	BackendSparse Backend = "sparse"
+)
+
+// ParseBackend validates a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case BackendAuto, BackendDense, BackendSparse:
+		return Backend(s), nil
+	case "":
+		return BackendAuto, nil
+	}
+	return "", fmt.Errorf("dnn: unknown backend %q (want auto, dense or sparse)", s)
+}
+
+// DefaultDensityThreshold is the weight density at or below which
+// BackendAuto selects the sparse kernel. CSR pays an index load and a
+// gathered input read per nonzero, so it only wins once enough of the
+// dense row is skippable; ~1/3 density is comfortably past breakeven
+// on every machine this was measured on, while the paper's 70/80/90%
+// pruning levels sit far below it.
+const DefaultDensityThreshold = 1.0 / 3
+
+// PlanConfig controls kernel selection when compiling a plan.
+type PlanConfig struct {
+	// Backend is the kernel policy (default BackendAuto).
+	Backend Backend
+	// DensityThreshold overrides DefaultDensityThreshold for
+	// BackendAuto (<= 0 selects the default).
+	DensityThreshold float64
+}
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.Backend == "" {
+		c.Backend = BackendAuto
+	}
+	if c.DensityThreshold <= 0 {
+		c.DensityThreshold = DefaultDensityThreshold
+	}
+	return c
+}
+
+// planLayer is one compiled execution step: the original layer plus,
+// for FC layers, the chosen kernel and (when compiled) the CSR view.
+type planLayer struct {
+	layer   Layer
+	fc      *FC           // nil for pooling/renorm layers
+	csr     *sparse.Layer // compiled CSR; non-nil for every masked FC
+	sparse  bool          // kernel choice: true = CSR MatVec
+	density float64       // NNZ / weight count at compile time
+}
+
+// Plan is a compiled inference plan: one immutable kernel schedule
+// built from a snapshot of a Network's weights. A Plan selects, per FC
+// layer, the dense matvec or the CSR sparse kernel (whose
+// column-ordered accumulation makes its output bit-identical to the
+// dense sum), and pre-computes the CSR views so consumers like the
+// accelerator simulator never re-compress a layer.
+//
+// Ownership contract (DESIGN.md §6c): a Plan is shared read-only — any
+// number of goroutines may execute it concurrently, each through its
+// own Exec, which owns all mutable scratch. The Plan does not observe
+// later mutations of the source Network; retraining, pruning or
+// quantizing the network invalidates previously compiled plans
+// (Network.Plan recompiles automatically, hand-compiled plans must be
+// rebuilt by the caller).
+type Plan struct {
+	cfg    PlanConfig
+	layers []planLayer
+	inDim  int
+	outDim int
+}
+
+// Compile builds a plan from the network's current weights under cfg.
+// The network is only read; the returned plan holds no reference to
+// the network's scratch state.
+func Compile(net *Network, cfg PlanConfig) *Plan {
+	cfg = cfg.withDefaults()
+	p := &Plan{cfg: cfg, inDim: net.InDim(), outDim: net.OutDim()}
+	for _, l := range net.Layers {
+		pl := planLayer{layer: l, density: 1}
+		if fc, ok := l.(*FC); ok {
+			pl.fc = fc
+			if n := fc.WeightCount(); n > 0 {
+				pl.density = float64(fc.W.NNZ()) / float64(n)
+			}
+			pl.sparse = cfg.Backend == BackendSparse ||
+				(cfg.Backend == BackendAuto && pl.density <= cfg.DensityThreshold)
+			// Compile the CSR view for the sparse kernel, and for every
+			// masked layer regardless of kernel choice: the accelerator
+			// simulator analyzes pruned layers through it (dnnsim reuses
+			// these instead of re-running sparse.FromDense per analysis).
+			if pl.sparse || fc.Mask != nil {
+				pl.csr = sparse.FromDense(fc.W, fc.B)
+			}
+			obsPlanLayerDensity.Observe(pl.density)
+		}
+		p.layers = append(p.layers, pl)
+	}
+	obsPlanCompiles.Inc()
+	return p
+}
+
+// InDim reports the input dimensionality of the plan.
+func (p *Plan) InDim() int { return p.inDim }
+
+// OutDim reports the number of output classes (senones).
+func (p *Plan) OutDim() int { return p.outDim }
+
+// Config returns the configuration the plan was compiled under
+// (defaults filled in).
+func (p *Plan) Config() PlanConfig { return p.cfg }
+
+// Sparse returns the compiled CSR view of layer i, or nil when none
+// was built (non-FC layers and unmasked dense-kernel layers). The
+// returned layer is shared read-only.
+func (p *Plan) Sparse(i int) *sparse.Layer { return p.layers[i].csr }
+
+// Kernels describes the chosen kernel per layer ("dense", "sparse",
+// or "-" for non-FC layers) for logs and tests.
+func (p *Plan) Kernels() []string {
+	out := make([]string, len(p.layers))
+	for i, pl := range p.layers {
+		switch {
+		case pl.fc == nil:
+			out[i] = "-"
+		case pl.sparse:
+			out[i] = "sparse"
+		default:
+			out[i] = "dense"
+		}
+	}
+	return out
+}
+
+// Describe summarizes the plan for startup logs: per-FC kernel and
+// density, e.g. "FC0:dense(1.00) FC1:sparse(0.10)".
+func (p *Plan) Describe() string {
+	s := ""
+	for _, pl := range p.layers {
+		if pl.fc == nil {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		kernel := "dense"
+		if pl.sparse {
+			kernel = "sparse"
+		}
+		s += fmt.Sprintf("%s:%s(%.2f)", pl.fc.LayerName, kernel, pl.density)
+	}
+	return s
+}
+
+// newActivations allocates one set of per-boundary activation buffers
+// sized for the plan.
+func (p *Plan) newActivations() [][]float64 {
+	acts := make([][]float64, len(p.layers)+1)
+	acts[0] = make([]float64, p.layers[0].layer.InDim())
+	for i, pl := range p.layers {
+		acts[i+1] = make([]float64, pl.layer.OutDim())
+	}
+	return acts
+}
+
+// NewExec returns a fresh executor over the plan. The Exec owns all
+// mutable scratch (single-frame and batched activations), so one plan
+// may be shared by any number of concurrent Execs; each individual
+// Exec is single-goroutine, like the Network methods it replaces.
+func (p *Plan) NewExec() *Exec {
+	return &Exec{plan: p, acts: p.newActivations()}
+}
+
+// Exec executes a compiled plan. It is the per-worker counterpart of
+// the shared Plan: scratch buffers live here, kernels and weights in
+// the plan. The zero value is not usable; obtain one from
+// Plan.NewExec.
+type Exec struct {
+	plan *Plan
+	acts [][]float64 // single-frame activations, acts[0] = input copy
+
+	// batchActs[r] is the activation set of batch row r, grown on
+	// demand by LogitsBatch.
+	batchActs [][][]float64
+}
+
+// Plan returns the shared plan this executor runs.
+func (e *Exec) Plan() *Plan { return e.plan }
+
+// step evaluates layer i: the CSR kernel when the plan selected it,
+// the layer's own dense Forward otherwise.
+func (p *Plan) step(i int, dst, in []float64) {
+	if pl := &p.layers[i]; pl.sparse {
+		pl.csr.MatVec(dst, in)
+	} else {
+		pl.layer.Forward(dst, in)
+	}
+}
+
+// stepTimed is step with per-kernel timing, taken only while
+// observation is enabled.
+func (p *Plan) stepTimed(i int, dst, in []float64) {
+	pl := &p.layers[i]
+	timer := obsLayerTime
+	if pl.fc != nil {
+		if pl.sparse {
+			timer = obsSparseKernelTime
+		} else {
+			timer = obsDenseKernelTime
+		}
+	}
+	sp := timer.Start()
+	p.step(i, dst, in)
+	sp.Stop()
+}
+
+// forwardInto runs the plan over in, leaving every intermediate
+// activation in acts; returns the logits slice (aliased into acts).
+// Mirrors Network.forwardInto: the instrumented branch is taken only
+// while observation is enabled, so the plain path pays one atomic
+// load for the whole pass.
+func (e *Exec) forwardInto(acts [][]float64, in []float64) []float64 {
+	copy(acts[0], in)
+	p := e.plan
+	if !obs.Enabled() {
+		for i := range p.layers {
+			p.step(i, acts[i+1], acts[i])
+		}
+		return acts[len(acts)-1]
+	}
+	sp := obsForwardTime.Start()
+	for i := range p.layers {
+		p.stepTimed(i, acts[i+1], acts[i])
+	}
+	sp.Stop()
+	obsForwardPasses.Inc()
+	return acts[len(acts)-1]
+}
+
+// Logits computes the pre-softmax outputs for one input frame.
+// The returned slice is reused by the next call; copy it to retain.
+func (e *Exec) Logits(in []float64) []float64 {
+	return e.forwardInto(e.acts, in)
+}
+
+// LogitsBatch computes pre-softmax outputs for a batch of input frames
+// in one pass. The loop is layer-major — every layer's weights (dense
+// rows or CSR runs) are walked once per batch instead of once per
+// frame — but each row's arithmetic is exactly Logits', so the result
+// is bit-identical to calling Logits(ins[r]) per row regardless of
+// batch size or order. Returned rows alias per-Exec scratch reused by
+// the next batched call; copy to retain.
+func (e *Exec) LogitsBatch(ins [][]float64) [][]float64 {
+	p := e.plan
+	for len(e.batchActs) < len(ins) {
+		e.batchActs = append(e.batchActs, p.newActivations())
+	}
+	for r, in := range ins {
+		copy(e.batchActs[r][0], in)
+	}
+	srcs := make([][]float64, len(ins))
+	dsts := make([][]float64, len(ins))
+	sp := obsForwardTime.Start()
+	for i := range p.layers {
+		pl := &p.layers[i]
+		for r := range ins {
+			srcs[r] = e.batchActs[r][i]
+			dsts[r] = e.batchActs[r][i+1]
+		}
+		if pl.sparse {
+			ksp := obsSparseKernelTime.Start()
+			pl.csr.MatVecBatch(dsts, srcs)
+			ksp.Stop()
+		} else {
+			timer := obsLayerTime
+			if pl.fc != nil {
+				timer = obsDenseKernelTime
+			}
+			ksp := timer.Start()
+			for r := range ins {
+				pl.layer.Forward(dsts[r], srcs[r])
+			}
+			ksp.Stop()
+		}
+	}
+	sp.Stop()
+	obsForwardPasses.Add(int64(len(ins)))
+	last := len(p.layers)
+	out := make([][]float64, len(ins))
+	for r := range ins {
+		out[r] = e.batchActs[r][last]
+	}
+	return out
+}
+
+// LogPosteriors writes log-softmax outputs for in into dst — the
+// acoustic scores consumed by the Viterbi search.
+func (e *Exec) LogPosteriors(dst, in []float64) {
+	mat.LogSoftmax(dst, e.Logits(in))
+}
+
+// LogPosteriorsBatch writes log-softmax outputs for every input row
+// into the corresponding dst row (len(dst) == len(ins); each dst row
+// sized OutDim). Bit-identical to calling LogPosteriors row by row.
+func (e *Exec) LogPosteriorsBatch(dst, ins [][]float64) {
+	if len(dst) != len(ins) {
+		panic(fmt.Sprintf("dnn: batch dst rows %d != input rows %d", len(dst), len(ins)))
+	}
+	logits := e.LogitsBatch(ins)
+	for r := range logits {
+		mat.LogSoftmax(dst[r], logits[r])
+	}
+}
+
+// Posteriors writes softmax class probabilities for in into dst and
+// returns the confidence, i.e. the probability of the top-1 class.
+func (e *Exec) Posteriors(dst, in []float64) float64 {
+	return mat.Softmax(dst, e.Logits(in))
+}

@@ -86,12 +86,15 @@ func (t *Trainer) step(s Sample) float64 {
 }
 
 // applyStep updates every trainable FC layer, scaling the accumulated
-// gradient by 1/batch.
+// gradient by 1/batch. The weight mutation invalidates any compiled
+// inference plan cached on the network (a mutex grab and two nil
+// stores — negligible against a batch of forward/backward passes).
 func (t *Trainer) applyStep(lr, l2 float64, batch int) {
 	scale := lr / float64(batch)
 	for _, fc := range t.net.FCs() {
 		fc.Step(scale, l2)
 	}
+	t.net.InvalidatePlan()
 }
 
 // Train runs SGD over the samples according to cfg and returns the

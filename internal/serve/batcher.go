@@ -24,16 +24,19 @@ type scoreReq struct {
 // its scores before pushing the next, so the maximum useful batch is
 // the number of in-flight sessions; the batcher takes whatever has
 // accumulated within a window of the first arrival (or up to
-// maxBatch) and runs one layer-major dnn.LogPosteriorsBatch over it.
-// Per-row arithmetic is unchanged by batching, so scores — and
-// therefore transcripts — are bit-identical to the serial path no
-// matter how frames interleave.
+// maxBatch) and runs one layer-major batched forward over the
+// server's compiled inference plan. Per-row arithmetic is unchanged
+// by batching and by the plan's kernel choice (the sparse kernel is
+// bit-identical to the dense sum), so scores — and therefore
+// transcripts — are bit-identical to the serial path no matter how
+// frames interleave or which -backend is selected.
 //
-// The batcher owns its Network (scratch buffers are reused across
-// batches) and runs as one goroutine: start with go run, stop by
-// closing reqs once no submitter can be in flight.
+// The batcher owns its Exec (the plan-execution scratch, reused
+// across batches) while the Plan itself is shared read-only; it runs
+// as one goroutine: start with go run, stop by closing reqs once no
+// submitter can be in flight.
 type batcher struct {
-	net      *dnn.Network
+	exec     *dnn.Exec
 	reqs     chan *scoreReq
 	window   time.Duration
 	maxBatch int
@@ -46,9 +49,9 @@ type batcher struct {
 	done   chan struct{} // closed when run exits
 }
 
-func newBatcher(net *dnn.Network, queueDepth, maxBatch int, window time.Duration, active func() int) *batcher {
+func newBatcher(plan *dnn.Plan, queueDepth, maxBatch int, window time.Duration, active func() int) *batcher {
 	return &batcher{
-		net:      net,
+		exec:     plan.NewExec(),
 		reqs:     make(chan *scoreReq, queueDepth),
 		window:   window,
 		maxBatch: maxBatch,
@@ -173,7 +176,7 @@ func (b *batcher) flush(batch []*scoreReq) {
 		ins[i] = r.in
 		dsts[i] = r.dst
 	}
-	b.net.LogPosteriorsBatch(dsts, ins)
+	b.exec.LogPosteriorsBatch(dsts, ins)
 	for _, r := range batch {
 		close(r.ack)
 	}

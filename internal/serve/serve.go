@@ -38,10 +38,15 @@ import (
 // Config assembles a Server. Net and Graph are required; everything
 // else has serving-grade defaults.
 type Config struct {
-	// Net scores frames. The server takes ownership: the batcher
-	// reuses its scratch buffers, so the caller must not run inference
-	// on it concurrently (pass a Clone to keep using the original).
+	// Net scores frames. New compiles it into an inference plan under
+	// Backend; the weights must not change for the server's lifetime
+	// (pass a Clone to keep mutating the original).
 	Net *dnn.Network
+	// Backend selects the scoring kernels of the compiled plan: auto
+	// (default; CSR sparse for pruned layers under the density
+	// threshold), dense, or sparse. Transcripts are bit-identical
+	// across backends; only the forward-pass cost changes.
+	Backend dnn.Backend
 	// Decoder is the shared read-only search graph wrapper; any
 	// number of sessions decode against it concurrently.
 	Decoder *decoder.Decoder
@@ -134,10 +139,13 @@ func New(cfg Config) (*Server, error) {
 		sem:    make(chan struct{}, cfg.MaxSessions),
 		conns:  map[net.Conn]struct{}{},
 	}
-	// len(sem) is the live admitted-session count: the batcher uses
-	// it to flush as soon as every in-flight session is represented
-	// in the batch instead of always waiting out the window.
-	srv.batcher = newBatcher(cfg.Net, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow,
+	// The scoring plan is compiled once here; the batcher owns the
+	// only Exec over it. len(sem) is the live admitted-session count:
+	// the batcher uses it to flush as soon as every in-flight session
+	// is represented in the batch instead of always waiting out the
+	// window.
+	cfg.Net.SetPlanConfig(dnn.PlanConfig{Backend: cfg.Backend})
+	srv.batcher = newBatcher(cfg.Net.Plan(), cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow,
 		func() int { return len(srv.sem) })
 	return srv, nil
 }

@@ -3,6 +3,14 @@
 // of (weight, input-index) pairs, the format whose index-driven input
 // gather causes the I/O-buffer bank conflicts analyzed in Section III-D
 // of the paper.
+//
+// Beyond the storage model, the package carries the real compute
+// kernels (MatVec, MatVecBatch) that internal/dnn's compiled inference
+// plans execute for pruned layers: each output neuron's nonzeros are
+// accumulated in ascending column order — the same order the dense sum
+// visits them — so skipping the exact zeros a pruning mask leaves
+// behind never perturbs the floating-point accumulation and the sparse
+// result is bit-identical to the dense one.
 package sparse
 
 import (
@@ -23,7 +31,10 @@ type Layer struct {
 }
 
 // FromDense compresses a dense matrix, dropping exact zeros (which is
-// what a pruning mask leaves behind). bias may be nil.
+// what a pruning mask leaves behind). bias may be nil. A first counting
+// pass fixes every RowPtr and the total NNZ, so Cols and Weights are
+// allocated exactly once at their final size instead of growing by
+// append.
 func FromDense(w *mat.Matrix, bias []float64) *Layer {
 	l := &Layer{
 		Rows:    w.Rows,
@@ -33,15 +44,26 @@ func FromDense(w *mat.Matrix, bias []float64) *Layer {
 	if bias != nil {
 		l.Bias = append([]float64(nil), bias...)
 	}
+	nnz := int32(0)
 	for r := 0; r < w.Rows; r++ {
-		row := w.Row(r)
-		for c, v := range row {
+		for _, v := range w.Row(r) {
 			if v != 0 {
-				l.Cols = append(l.Cols, int32(c))
-				l.Weights = append(l.Weights, v)
+				nnz++
 			}
 		}
-		l.RowPtr[r+1] = int32(len(l.Weights))
+		l.RowPtr[r+1] = nnz
+	}
+	l.Cols = make([]int32, nnz)
+	l.Weights = make([]float64, nnz)
+	k := 0
+	for r := 0; r < w.Rows; r++ {
+		for c, v := range w.Row(r) {
+			if v != 0 {
+				l.Cols[k] = int32(c)
+				l.Weights[k] = v
+				k++
+			}
+		}
 	}
 	return l
 }
@@ -84,6 +106,39 @@ func (l *Layer) MatVec(dst, x []float64) {
 			s += l.Bias[r]
 		}
 		dst[r] = s
+	}
+}
+
+// MatVecBatch computes dst[b] = L·xs[b] (+ bias when present) for a
+// batch of input vectors. The loop is row-major over the layer so each
+// weight row is walked once per batch instead of once per input, but
+// every (row, input) dot product accumulates in exactly the MatVec
+// order, so each output row is bit-identical to calling MatVec(dst[b],
+// xs[b]) alone.
+func (l *Layer) MatVecBatch(dst, xs [][]float64) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("sparse: MatVecBatch dst rows %d != input rows %d", len(dst), len(xs)))
+	}
+	for b := range xs {
+		if len(xs[b]) != l.ColsDim || len(dst[b]) != l.Rows {
+			panic(fmt.Sprintf("sparse: MatVecBatch dimension mismatch: layer %dx%d, x %d, dst %d",
+				l.Rows, l.ColsDim, len(xs[b]), len(dst[b])))
+		}
+	}
+	for r := 0; r < l.Rows; r++ {
+		lo, hi := l.RowPtr[r], l.RowPtr[r+1]
+		weights := l.Weights[lo:hi]
+		cols := l.Cols[lo:hi]
+		for b, x := range xs {
+			var s float64
+			for k, w := range weights {
+				s += w * x[cols[k]]
+			}
+			if l.Bias != nil {
+				s += l.Bias[r]
+			}
+			dst[b][r] = s
+		}
 	}
 }
 
