@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -419,6 +420,109 @@ func BenchmarkSessionPushFrameObs(b *testing.B) {
 		defer obs.Disable()
 		decode(b)
 	})
+}
+
+// ---- zero-allocation decode gate (ci.sh -> BENCH_decode.json) ------------
+
+// BenchmarkDecodeUtterance is the decode performance gate: one full
+// utterance per op through a pooled session (Restart + PushFrame loop
+// + Finish) at each pruning level, plus the heap-allocation reference
+// path at 90% pruning. ci.sh distills ns/op and allocs/op into
+// BENCH_decode.json and fails the build if heap/p90 over pooled/p90
+// falls below the 1.5x floor — the pooling work must stay a measured
+// win on the paper's worst-case (90%-pruned) workload.
+func BenchmarkDecodeUtterance(b *testing.B) {
+	sys := benchSystem(b)
+	for _, lv := range []int{0, 70, 90} {
+		scores := sys.Scores(lv)[0]
+		cfg := decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1}
+		b.Run(fmt.Sprintf("pooled/p%d", lv), func(b *testing.B) {
+			s := sys.Decoder.Start(cfg)
+			utterance := func() {
+				for _, f := range scores {
+					if err := s.PushFrame(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				s.Finish()
+			}
+			utterance() // warm arenas, maps, and store scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Restart(cfg); err != nil {
+					b.Fatal(err)
+				}
+				utterance()
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N*len(scores)), "ns/frame")
+		})
+	}
+	b.Run("heap/p90", func(b *testing.B) {
+		scores := sys.Scores(90)[0]
+		cfg := decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1, HeapAlloc: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := sys.Decoder.Start(cfg)
+			for _, f := range scores {
+				if err := s.PushFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Finish()
+		}
+		b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N*len(scores)), "ns/frame")
+	})
+}
+
+// BenchmarkSessionPushFrame measures the steady-state per-frame cost
+// of a warmed pooled session for both store designs; one op is one
+// PushFrame (the session restarts in place at utterance boundaries,
+// which is itself allocation-free). ci.sh fails the build if allocs/op
+// is nonzero — the tentpole contract that the Viterbi hot path never
+// touches the heap once warm.
+func BenchmarkSessionPushFrame(b *testing.B) {
+	sys := benchSystem(b)
+	scores := sys.Scores(90)[0]
+	for _, st := range []struct {
+		name  string
+		store decoder.StoreFactory
+	}{
+		{"unbounded", nil},
+		{"nbest", decoder.SetAssocStore(128, 8)},
+	} {
+		b.Run(st.name, func(b *testing.B) {
+			cfg := decoder.Config{Beam: asr.DefaultBeam, AcousticScale: 1, NewStore: st.store}
+			s := sys.Decoder.Start(cfg)
+			warm := func() {
+				for _, f := range scores {
+					if err := s.PushFrame(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.Restart(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			warm()
+			warm() // the first Restart may still size store scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			j := 0
+			for i := 0; i < b.N; i++ {
+				if err := s.PushFrame(scores[j]); err != nil {
+					b.Fatal(err)
+				}
+				if j++; j == len(scores) {
+					if err := s.Restart(cfg); err != nil {
+						b.Fatal(err)
+					}
+					j = 0
+				}
+			}
+		})
+	}
 }
 
 // ---- micro-benchmarks of the hot paths ----------------------------------

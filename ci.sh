@@ -75,6 +75,35 @@ awk '
 	}' "$smoke/bench.out" >BENCH_dnn.json ||
 	{ echo "sparse kernel under the 3x floor at p90 (see BENCH_dnn.json)" >&2; exit 1; }
 echo "BENCH_dnn.json: $(grep p90_speedup BENCH_dnn.json)"
+
+# Distil the decode benches into BENCH_decode.json and enforce the
+# zero-allocation gate: a warmed pooled session must push frames with
+# 0 allocs/op on both store designs, and the pooled path must beat the
+# heap-allocation reference by >= 1.5x on the 90%-pruned workload.
+go test -run '^$' -bench '^(BenchmarkDecodeUtterance|BenchmarkSessionPushFrame)$' \
+	-benchmem -benchtime=30x . >"$smoke/bench_decode.out"
+cat "$smoke/bench_decode.out"
+awk '
+	/^Benchmark(DecodeUtterance|SessionPushFrame)\// {
+		key = $1; sub(/-[0-9]+$/, "", key); sub(/^Benchmark/, "", key)
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns[key] = $i
+			if ($(i + 1) == "ns/frame") nf[key] = $i
+			if ($(i + 1) == "allocs/op") al[key] = $i
+		}
+	}
+	END {
+		printf "{\n  \"bench\": \"BenchmarkDecodeUtterance\", \"unit\": \"ns/op\",\n"
+		printf "  \"pooled\": {\"p0\": %s, \"p70\": %s, \"p90\": %s},\n", ns["DecodeUtterance/pooled/p0"], ns["DecodeUtterance/pooled/p70"], ns["DecodeUtterance/pooled/p90"]
+		printf "  \"heap\":   {\"p90\": %s},\n", ns["DecodeUtterance/heap/p90"]
+		printf "  \"ns_per_frame\": {\"pooled_p90\": %s, \"heap_p90\": %s},\n", nf["DecodeUtterance/pooled/p90"], nf["DecodeUtterance/heap/p90"]
+		printf "  \"push_frame_allocs\": {\"unbounded\": %s, \"nbest\": %s},\n", al["SessionPushFrame/unbounded"], al["SessionPushFrame/nbest"]
+		speedup = ns["DecodeUtterance/heap/p90"] / ns["DecodeUtterance/pooled/p90"]
+		printf "  \"p90_speedup\": %.2f\n}\n", speedup
+		exit (speedup < 1.5 || al["SessionPushFrame/unbounded"] + al["SessionPushFrame/nbest"] > 0) ? 1 : 0
+	}' "$smoke/bench_decode.out" >BENCH_decode.json ||
+	{ echo "decode gate failed: pooled p90 under the 1.5x floor or steady-state allocs/op > 0 (see BENCH_decode.json)" >&2; exit 1; }
+echo "BENCH_decode.json: $(grep p90_speedup BENCH_decode.json)"
 "$smoke"/asrserve -scale tiny -model "$smoke/models/tiny-prune90.model" \
 	-addr localhost:0 >"$smoke/serve.out" 2>"$smoke/serve.err" &
 server=$!

@@ -33,6 +33,11 @@ type EngineConfig struct {
 	// CfgWorkers is the number of configurations RunMatrix evaluates
 	// concurrently (<=0: GOMAXPROCS).
 	CfgWorkers int
+	// HeapAlloc switches every decode session onto the heap-allocation
+	// reference path (decoder.Config.HeapAlloc): fresh token maps per
+	// frame, no arenas. The determinism tests compare pooled runs
+	// against this baseline; production runs leave it false.
+	HeapAlloc bool
 }
 
 // SerialEngine is the single-goroutine reference configuration; the
@@ -63,20 +68,28 @@ type queuedIndex struct {
 }
 
 // forEachIndex runs fn(i) for i in [0, n) across a pool of the given
-// width. fn must confine its writes to state owned by index i. The
-// pool reports per-job queue wait and busy-worker occupancy to
+// width. fn must confine its writes to state owned by index i.
+func forEachIndex(n, poolSize int, fn func(i int)) {
+	forEachIndexWorker(n, poolSize, func(_, i int) { fn(i) })
+}
+
+// forEachIndexWorker is forEachIndex with stable worker identities:
+// fn(w, i) runs job i on worker w ∈ [0, workers(poolSize, n)), and no
+// two jobs with the same w ever run concurrently. Workers use this to
+// own reusable per-worker state (pooled decode sessions) across jobs.
+// The pool reports per-job queue wait and busy-worker occupancy to
 // internal/obs; the metrics observe scheduling only and cannot affect
 // ordering or results.
-func forEachIndex(n, poolSize int, fn func(i int)) {
-	instrumented := func(i int) {
+func forEachIndexWorker(n, poolSize int, fn func(worker, i int)) {
+	instrumented := func(w, i int) {
 		obsBusyWorkers.Add(1)
-		fn(i)
+		fn(w, i)
 		obsBusyWorkers.Add(-1)
 	}
 	w := workers(poolSize, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			instrumented(i)
+			instrumented(0, i)
 		}
 		return
 	}
@@ -84,15 +97,15 @@ func forEachIndex(n, poolSize int, fn func(i int)) {
 	work := make(chan queuedIndex)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for q := range work {
 				if !q.at.IsZero() {
 					obsQueueWait.Histogram().Observe(time.Since(q.at).Seconds())
 				}
-				instrumented(q.i)
+				instrumented(worker, q.i)
 			}
-		}()
+		}(k)
 	}
 	for i := 0; i < n; i++ {
 		var at time.Time
@@ -111,9 +124,15 @@ func forEachIndex(n, poolSize int, fn func(i int)) {
 // Experiment generators use this to parallelize bespoke decode sweeps
 // with the same ownership contract as Run.
 func (s *System) ForEachUtt(eng EngineConfig, fn func(i int)) {
-	forEachIndex(len(s.TestSet), eng.UttWorkers, func(i int) {
+	s.forEachUttWorker(eng, func(_, i int) { fn(i) })
+}
+
+// forEachUttWorker is ForEachUtt with the worker identity exposed, so
+// the engine can pin one reusable decode session per worker.
+func (s *System) forEachUttWorker(eng EngineConfig, fn func(worker, i int)) {
+	forEachIndexWorker(len(s.TestSet), eng.UttWorkers, func(w, i int) {
 		sp := obsUttTime.Start()
-		fn(i)
+		fn(w, i)
 		sp.Stop()
 		obsUtterances.Inc()
 	})
@@ -152,15 +171,37 @@ func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg vite
 
 	scores := s.Scores(cfg.Pruning)
 	outcomes := make([]uttOutcome, len(s.TestSet))
-	s.ForEachUtt(eng, func(i int) {
+	// One pooled session per worker: Restart recycles the store,
+	// token maps, and arenas between utterances, and is bit-identical
+	// to a fresh Start, so outcomes do not depend on which worker (or
+	// how warmed a session) decoded an utterance.
+	sessions := make([]*decoder.Session, workers(eng.UttWorkers, len(s.TestSet)))
+	s.forEachUttWorker(eng, func(w, i int) {
 		sim := viterbisim.New(vitCfg)
 		dcfg := decoder.Config{
 			Beam:          cfg.Beam,
 			AcousticScale: 1,
 			NewStore:      cfg.storeFactory(),
 			Probe:         sim,
+			HeapAlloc:     eng.HeapAlloc,
 		}
-		r := s.Decoder.Decode(scores[i], dcfg)
+		ses := sessions[w]
+		if ses == nil {
+			ses = s.Decoder.Start(dcfg)
+			sessions[w] = ses
+		} else if err := ses.Restart(dcfg); err != nil {
+			ses = s.Decoder.Start(dcfg)
+			sessions[w] = ses
+		}
+		for _, f := range scores[i] {
+			if err := ses.PushFrame(f); err != nil {
+				break
+			}
+			if ses.Active() == 0 {
+				break // beam collapsed; no surviving hypotheses
+			}
+		}
+		r := ses.Finish()
 		outcomes[i] = uttOutcome{words: r.Words, stats: r.Stats, rep: sim.Finish(r.Stats)}
 	})
 

@@ -1,0 +1,37 @@
+package asr
+
+import "testing"
+
+// TestPooledEngineMatchesHeapAllocReference is the end-to-end
+// determinism guard for the zero-allocation decode path: a pooled
+// engine run — per-worker sessions restarted across utterances, token
+// and word-link arenas, epoch-stamped token maps, de-allocated store
+// scratch — must be bit-identical to the heap-allocation reference
+// path (the pre-pooling allocator behaviour) in transcripts, WER,
+// workload counters, store statistics, and modelled accelerator
+// cycles/energy, at every pruning level and at any pool width. Run
+// under -race in CI, this also exercises the per-worker ownership
+// contract of the session pool.
+func TestPooledEngineMatchesHeapAllocReference(t *testing.T) {
+	sys := tinySystem(t)
+	cfgs := []PipelineConfig{
+		sys.Preset(MitigationNone, 0),
+		sys.Preset(MitigationNone, 70),
+		sys.Preset(MitigationNone, 90),
+		sys.Preset(MitigationNBest, 90), // set-associative store path
+	}
+	for _, cfg := range cfgs {
+		ref, err := sys.RunEngine(cfg, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig(),
+			EngineConfig{UttWorkers: 1, CfgWorkers: 1, HeapAlloc: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range []EngineConfig{SerialEngine(), {UttWorkers: 3}, {}} {
+			got, err := sys.RunEngine(cfg, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig(), eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalResults(t, ref, got)
+		}
+	}
+}

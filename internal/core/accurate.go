@@ -39,6 +39,9 @@ func (t *AccurateNBest[P]) Len() int { return len(t.items) }
 // Stats returns accumulated activity counters.
 func (t *AccurateNBest[P]) Stats() Stats { return t.stats }
 
+// ResetStats zeroes the accumulated counters (see Store.ResetStats).
+func (t *AccurateNBest[P]) ResetStats() { t.stats = Stats{} }
+
 // Reset clears contents; counters accumulate.
 func (t *AccurateNBest[P]) Reset() {
 	t.items = t.items[:0]

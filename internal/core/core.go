@@ -89,6 +89,11 @@ type Store[P any] interface {
 	Capacity() int
 	// Stats returns accumulated activity counters.
 	Stats() Stats
+	// ResetStats zeroes the accumulated counters, returning a reused
+	// store to the state a freshly constructed one reports. Pooled
+	// sessions call it on Restart so per-utterance statistics stay
+	// bit-identical to a fresh store.
+	ResetStats()
 }
 
 // hashKey mixes the hypothesis key into a well-distributed index; the

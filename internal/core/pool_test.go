@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetAssocReverseIndexInvariant pins the reverse index vector's
+// invariant under a randomized insert stream: for every set s and
+// heap node h < heapSize[s], heapPos[s*ways+heapIdx[s*ways+h]] == h —
+// i.e. the two vectors stay exact inverses through pushes, sifts, and
+// Maximum-path replacements.
+func TestSetAssocReverseIndexInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tab := NewSetAssoc[int](16, 8)
+	check := func(step int) {
+		for s := 0; s < tab.sets; s++ {
+			base := s * tab.ways
+			for h := 0; h < tab.heapSize[s]; h++ {
+				w := int(tab.heapIdx[base+h])
+				if got := int(tab.heapPos[base+w]); got != h {
+					t.Fatalf("step %d: set %d: heapIdx[%d]=way %d but heapPos[way %d]=%d",
+						step, s, h, w, w, got)
+				}
+			}
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		if i%4096 == 0 {
+			tab.Reset()
+		}
+		// Recombinations, free-way inserts, rejections, and evictions
+		// all occur under this key/cost mix.
+		tab.Insert(uint64(rng.Intn(512)), rng.Float64()*100, i)
+		check(i)
+	}
+}
+
+// TestStoreResetStats pins the session-reuse contract for every store:
+// after Reset + ResetStats, a reused store replays an insert stream
+// with outcomes and statistics bit-identical to a fresh instance.
+func TestStoreResetStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	stream := make([]Hypo, 6000)
+	for i := range stream {
+		stream[i] = Hypo{Key: uint64(rng.Intn(2048)), Cost: rng.Float64() * 100}
+	}
+	stores := []struct {
+		name string
+		make func() Store[int]
+	}{
+		{"setassoc", func() Store[int] { return NewSetAssoc[int](16, 8) }},
+		{"unbounded", func() Store[int] { return NewUnbounded[int](1024, 512, 10) }},
+		{"accurate", func() Store[int] { return NewAccurateNBest[int](128) }},
+	}
+	for _, tc := range stores {
+		replay := func(s Store[int]) ([]Outcome, Stats) {
+			out := make([]Outcome, 0, len(stream))
+			for i, h := range stream {
+				if i%1000 == 0 {
+					s.Reset()
+				}
+				out = append(out, s.Insert(h.Key, h.Cost, i))
+			}
+			// Read back too: Each charges readout cycles.
+			s.Each(func(uint64, float64, int) {})
+			return out, s.Stats()
+		}
+		reused := tc.make()
+		replay(reused)
+		reused.Reset()
+		reused.ResetStats()
+		if got := reused.Stats(); got != (Stats{}) {
+			t.Fatalf("%s: ResetStats left counters: %+v", tc.name, got)
+		}
+		gotOut, gotStats := replay(reused)
+		wantOut, wantStats := replay(tc.make())
+		if gotStats != wantStats {
+			t.Fatalf("%s: reused stats %+v != fresh %+v", tc.name, gotStats, wantStats)
+		}
+		for i := range wantOut {
+			if gotOut[i] != wantOut[i] {
+				t.Fatalf("%s: insert %d outcome %v (reused) != %v (fresh)", tc.name, i, gotOut[i], wantOut[i])
+			}
+		}
+	}
+}
+
+// TestUnboundedEachOrderAfterReuse pins the deterministic readout
+// order — ascending direct index, then backup insertion order, then
+// overflow insertion order — survives the epoch-stamped Reset and the
+// sorted occupancy list.
+func TestUnboundedEachOrderAfterReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	fresh := NewUnbounded[int](256, 64, 5)
+	reused := NewUnbounded[int](256, 64, 5)
+
+	// Warm the reused table with a different stream, then reset.
+	for i := 0; i < 1000; i++ {
+		reused.Insert(uint64(rng.Intn(4096)), rng.Float64(), i)
+	}
+	reused.Reset()
+	reused.ResetStats()
+
+	keys := rng.Perm(2048)
+	for i, k := range keys[:600] {
+		fresh.Insert(uint64(k), float64(i), i)
+		reused.Insert(uint64(k), float64(i), i)
+	}
+	var a, b []uint64
+	fresh.Each(func(k uint64, _ float64, _ int) { a = append(a, k) })
+	reused.Each(func(k uint64, _ float64, _ int) { b = append(b, k) })
+	if len(a) != len(b) {
+		t.Fatalf("readout lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("readout order diverges at %d: key %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -22,14 +22,35 @@ type SetAssoc[P any] struct {
 	valid   []bool
 
 	// Per-set Max-Heap metadata, mirroring the hardware of Figure 8.
+	//
 	// heapIdx[s*ways+h] is the entry index (way) stored at heap node h.
-	// maxPath[s*depth+l] is the heap-node index at level l of the
-	// maximum path (root excluded root is node 0; the path lists the
-	// nodes visited when following the max-cost child from the root).
+	//
+	// heapPos is its reverse index vector (way → heap node): for every
+	// set s and every heap node h < heapSize[s],
+	//
+	//	heapPos[s*ways + int(heapIdx[s*ways+h])] == h.
+	//
+	// The hardware keeps this vector beside the heap so a
+	// recombination can locate its entry's heap node in a single cycle
+	// instead of scanning the heap; every operation that moves a way
+	// between heap nodes (heapSwap, heapPush, replaceMax) updates both
+	// vectors together to preserve the invariant.
+	//
+	// maxPath[s*depth+l] is the heap-node index at depth l+1 of set
+	// s's Maximum-path: the nodes visited by repeatedly following the
+	// max-cost child downward from the root. The root itself (node 0)
+	// is always on the path and therefore not stored; a negative entry
+	// marks levels below the bottom of the current heap.
 	heapIdx  []uint8
+	heapPos  []uint8
 	heapSize []int
 	maxPath  []int8
 	depth    int
+
+	// pathBuf is replaceMax's reusable Maximum-path gather scratch
+	// (root + up to depth stored nodes); per-table so the eviction
+	// path never allocates.
+	pathBuf []int
 
 	count int
 	stats Stats
@@ -59,8 +80,10 @@ func NewSetAssoc[P any](sets, ways int) *SetAssoc[P] {
 		payload:  make([]P, sets*ways),
 		valid:    make([]bool, sets*ways),
 		heapIdx:  make([]uint8, sets*ways),
+		heapPos:  make([]uint8, sets*ways),
 		heapSize: make([]int, sets),
 		maxPath:  make([]int8, sets*max(depth, 1)),
+		pathBuf:  make([]int, 0, depth+1),
 
 		evictionCycles: 1,
 	}
@@ -91,6 +114,9 @@ func (t *SetAssoc[P]) Len() int { return t.count }
 
 // Stats returns the accumulated activity counters.
 func (t *SetAssoc[P]) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the accumulated counters (see Store.ResetStats).
+func (t *SetAssoc[P]) ResetStats() { t.stats = Stats{} }
 
 // Reset clears the table; statistics accumulate across frames.
 func (t *SetAssoc[P]) Reset() {
@@ -206,27 +232,24 @@ func (t *SetAssoc[P]) heapCost(s, h int) float64 {
 	return t.costs[s*t.ways+int(t.heapIdx[s*t.ways+h])]
 }
 
-// heapPosOf finds the heap node currently holding way w (linear scan;
-// hardware keeps this as a reverse index vector).
+// heapPosOf returns the heap node currently holding way w — a single
+// read of the reverse index vector, like the hardware.
 func (t *SetAssoc[P]) heapPosOf(s int, w uint8) int {
-	base := s * t.ways
-	for h := 0; h < t.heapSize[s]; h++ {
-		if t.heapIdx[base+h] == w {
-			return h
-		}
-	}
-	panic("core: way not present in heap")
+	return int(t.heapPos[s*t.ways+int(w)])
 }
 
 func (t *SetAssoc[P]) heapSwap(s, a, b int) {
 	base := s * t.ways
 	t.heapIdx[base+a], t.heapIdx[base+b] = t.heapIdx[base+b], t.heapIdx[base+a]
+	t.heapPos[base+int(t.heapIdx[base+a])] = uint8(a)
+	t.heapPos[base+int(t.heapIdx[base+b])] = uint8(b)
 }
 
 // heapPush adds way w to set s's heap and restores the heap property.
 func (t *SetAssoc[P]) heapPush(s int, w uint8) {
 	h := t.heapSize[s]
 	t.heapIdx[s*t.ways+h] = w
+	t.heapPos[s*t.ways+int(w)] = uint8(h)
 	t.heapSize[s]++
 	for h > 0 {
 		parent := (h - 1) / 2
@@ -293,9 +316,10 @@ func (t *SetAssoc[P]) replaceMax(s int, key uint64, cost float64, payload P) {
 	base := s * t.ways
 	victimWay := t.heapIdx[base] // root holds the set maximum
 
-	// Gather the maximum path: root, then stored path nodes.
-	path := make([]int, 1, t.depth+1)
-	path[0] = 0
+	// Gather the maximum path: root, then stored path nodes. The
+	// per-table scratch keeps this off the allocator — replaceMax runs
+	// once per eviction, i.e. at hypothesis-explosion rate.
+	path := append(t.pathBuf[:0], 0)
 	for l := 0; l < t.depth; l++ {
 		next := int(t.maxPath[s*max(t.depth, 1)+l])
 		if next < 0 {
@@ -316,11 +340,15 @@ func (t *SetAssoc[P]) replaceMax(s int, key uint64, cost float64, payload P) {
 		}
 	}
 
-	// Shift path nodes up one level and drop the newcomer in.
+	// Shift path nodes up one level and drop the newcomer in, keeping
+	// the reverse index vector in step with every moved way.
 	for i := 1; i <= place; i++ {
-		t.heapIdx[base+path[i-1]] = t.heapIdx[base+path[i]]
+		w := t.heapIdx[base+path[i]]
+		t.heapIdx[base+path[i-1]] = w
+		t.heapPos[base+int(w)] = uint8(path[i-1])
 	}
 	t.heapIdx[base+path[place]] = victimWay
+	t.heapPos[base+int(victimWay)] = uint8(path[place])
 
 	// The victim's way now stores the newcomer.
 	i := base + int(victimWay)

@@ -1,5 +1,7 @@
 package core
 
+import "slices"
+
 // Unbounded models UNFOLD's hypothesis storage (Section III-A): a
 // direct-mapped hash table backed by an on-chip backup buffer for
 // collisions and a DRAM overflow buffer once on-chip space is
@@ -10,6 +12,17 @@ package core
 //   - direct-mapped hit or free slot: 1 cycle
 //   - collision chained into the backup buffer: 1 cycle per chain hop
 //   - overflow entry: DRAMPenalty cycles per access (main-memory latency)
+//
+// The software implementation is allocation-free at steady state:
+// direct-mapped slots are invalidated wholesale by an epoch bump
+// (stamp == epoch means live) instead of a 32K-entry clearing loop,
+// the per-epoch occupancy list lets Each visit live slots in direct-
+// index order without scanning the whole table, and overflow entries
+// live in a reusable insertion-ordered slice indexed by a bucket-
+// reused map. None of this changes the modelled behaviour: outcomes,
+// statistics, and the deterministic readout order (direct slots by
+// ascending index, then the backup buffer, then overflow in insertion
+// order) are identical to the clearing implementation.
 type Unbounded[P any] struct {
 	// geometry
 	directEntries int
@@ -17,16 +30,19 @@ type Unbounded[P any] struct {
 	dramPenalty   int
 
 	direct   []dmEntry[P]
+	epoch    uint32       // direct[i] live iff direct[i].stamp == epoch
+	occupied []int32      // direct indices claimed this epoch (unsorted)
 	backup   []dmEntry[P] // chained; index 0 unused (0 = nil link)
-	overflow map[uint64]*ovEntry[P]
-	ovOrder  []uint64 // overflow keys in insertion order (deterministic readout)
+
+	ovIndex   map[uint64]int32 // key → ovEntries position
+	ovEntries []ovEntry[P]     // overflow in insertion order
 
 	count int
 	stats Stats
 }
 
 type dmEntry[P any] struct {
-	valid   bool
+	stamp   uint32
 	key     uint64
 	cost    float64
 	payload P
@@ -34,6 +50,7 @@ type dmEntry[P any] struct {
 }
 
 type ovEntry[P any] struct {
+	key     uint64
 	cost    float64
 	payload P
 }
@@ -63,8 +80,9 @@ func NewUnbounded[P any](directEntries, backupEntries, dramPenalty int) *Unbound
 		backupEntries: backupEntries,
 		dramPenalty:   dramPenalty,
 		direct:        make([]dmEntry[P], directEntries),
+		epoch:         1,
 		backup:        make([]dmEntry[P], 1, 1+backupEntries),
-		overflow:      map[uint64]*ovEntry[P]{},
+		ovIndex:       map[uint64]int32{},
 	}
 }
 
@@ -77,17 +95,23 @@ func (t *Unbounded[P]) Len() int { return t.count }
 // Stats returns accumulated activity counters.
 func (t *Unbounded[P]) Stats() Stats { return t.stats }
 
-// Reset clears contents; counters accumulate.
+// ResetStats zeroes the accumulated counters (see Store.ResetStats).
+func (t *Unbounded[P]) ResetStats() { t.stats = Stats{} }
+
+// Reset clears contents; counters accumulate. The direct table is
+// invalidated by an epoch bump — O(live entries), not O(table size).
 func (t *Unbounded[P]) Reset() {
-	for i := range t.direct {
-		t.direct[i].valid = false
-		t.direct[i].next = 0
+	t.epoch++
+	if t.epoch == 0 { // uint32 wraparound: stale stamps could alias
+		for i := range t.direct {
+			t.direct[i].stamp = 0
+		}
+		t.epoch = 1
 	}
+	t.occupied = t.occupied[:0]
 	t.backup = t.backup[:1]
-	if len(t.overflow) > 0 {
-		t.overflow = map[uint64]*ovEntry[P]{}
-		t.ovOrder = t.ovOrder[:0]
-	}
+	clear(t.ovIndex)
+	t.ovEntries = t.ovEntries[:0]
 	t.count = 0
 }
 
@@ -95,14 +119,16 @@ func (t *Unbounded[P]) Reset() {
 func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
 	t.stats.Inserts++
 	t.stats.Cycles++ // direct-mapped probe
-	slot := &t.direct[hashKey(key)%uint64(t.directEntries)]
+	di := int32(hashKey(key) % uint64(t.directEntries))
+	slot := &t.direct[di]
 
-	if !slot.valid {
-		slot.valid = true
+	if slot.stamp != t.epoch {
+		slot.stamp = t.epoch
 		slot.key = key
 		slot.cost = cost
 		slot.payload = payload
 		slot.next = 0
+		t.occupied = append(t.occupied, di)
 		t.count++
 		t.stats.Stored++
 		return Inserted
@@ -136,7 +162,7 @@ func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
 
 	// Append to backup buffer if on-chip space remains.
 	if len(t.backup)-1 < t.backupEntries {
-		t.backup = append(t.backup, dmEntry[P]{valid: true, key: key, cost: cost, payload: payload})
+		t.backup = append(t.backup, dmEntry[P]{stamp: t.epoch, key: key, cost: cost, payload: payload})
 		*link = int32(len(t.backup) - 1)
 		t.count++
 		t.stats.Stored++
@@ -148,7 +174,8 @@ func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
 	// On-chip exhausted: overflow to main memory.
 	t.stats.Overflows++
 	t.stats.Cycles += int64(t.dramPenalty)
-	if e, ok := t.overflow[key]; ok {
+	if i, ok := t.ovIndex[key]; ok {
+		e := &t.ovEntries[i]
 		t.stats.Recombines++
 		if cost < e.cost {
 			e.cost = cost
@@ -156,8 +183,8 @@ func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
 		}
 		return Recombined
 	}
-	t.overflow[key] = &ovEntry[P]{cost: cost, payload: payload}
-	t.ovOrder = append(t.ovOrder, key)
+	t.ovIndex[key] = int32(len(t.ovEntries))
+	t.ovEntries = append(t.ovEntries, ovEntry[P]{key: key, cost: cost, payload: payload})
 	t.count++
 	t.stats.Stored++
 	return Inserted
@@ -168,21 +195,25 @@ func (t *Unbounded[P]) Insert(key uint64, cost float64, payload P) Outcome {
 // accelerator's work: one cycle per on-chip entry and a main-memory
 // round trip per overflow entry — the paper's "overflows have a huge
 // impact" cost, paid again on the way out.
+//
+// Direct-mapped slots are visited in ascending index order (the
+// hardware's table scan); sorting the occupancy list reproduces that
+// order in O(live · log live) instead of touching all 32K slots.
 func (t *Unbounded[P]) Each(fn func(key uint64, cost float64, payload P)) {
-	for i := range t.direct {
-		if t.direct[i].valid {
-			t.stats.Cycles++
-			fn(t.direct[i].key, t.direct[i].cost, t.direct[i].payload)
-		}
+	slices.Sort(t.occupied)
+	for _, di := range t.occupied {
+		e := &t.direct[di]
+		t.stats.Cycles++
+		fn(e.key, e.cost, e.payload)
 	}
 	for i := 1; i < len(t.backup); i++ {
 		t.stats.Cycles++
 		fn(t.backup[i].key, t.backup[i].cost, t.backup[i].payload)
 	}
-	for _, k := range t.ovOrder {
-		e := t.overflow[k]
+	for i := range t.ovEntries {
+		e := &t.ovEntries[i]
 		t.stats.Cycles += int64(t.dramPenalty)
 		t.stats.Overflows++
-		fn(k, e.cost, e.payload)
+		fn(e.key, e.cost, e.payload)
 	}
 }

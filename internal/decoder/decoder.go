@@ -7,8 +7,6 @@
 package decoder
 
 import (
-	"sort"
-
 	"repro/internal/core"
 	"repro/internal/wfst"
 )
@@ -85,6 +83,14 @@ type Config struct {
 	RecordPerFrame bool
 	// Probe, if non-nil, observes memory traffic for simulators.
 	Probe MemoryProbe
+	// HeapAlloc disables the session's pooled allocation (token/word
+	// arenas, reusable epoch-stamped token maps) and reverts to plain
+	// heap allocation on the hot path — the pre-pooling reference
+	// behaviour. Results are bit-identical either way (pinned by
+	// tests); the flag exists as the ablation baseline the decode
+	// benchmarks and determinism guards compare against. Structural:
+	// fixed at Start, ignored by Restart.
+	HeapAlloc bool
 }
 
 // DefaultConfig mirrors the paper's baseline setup (beam 15).
@@ -127,7 +133,8 @@ type Result struct {
 	OK     bool // false if no final state was reached
 	Stats  Stats
 	Frames []FrameActivity // populated when Config.RecordPerFrame
-	// Finals holds every surviving final-state hypothesis (unsorted);
+	// Finals holds every surviving final-state hypothesis, sorted by
+	// cost (best first, ties keeping the final-state iteration order);
 	// NBest and OracleWER consume it.
 	Finals []Hypothesis
 }
@@ -198,46 +205,4 @@ func (d *Decoder) Decode(scores [][]float64, cfg Config) Result {
 		}
 	}
 	return s.Finish()
-}
-
-// maxActiveLimit returns the cost threshold that keeps only the n
-// cheapest tokens (histogram pruning's partial sort).
-func maxActiveLimit(cur *tokenMap, n int) float64 {
-	costs := make([]float64, 0, cur.len())
-	cur.each(func(_ int32, tok *Token) {
-		costs = append(costs, tok.Cost)
-	})
-	sort.Float64s(costs)
-	return costs[n-1]
-}
-
-// epsilonClosure relaxes non-emitting arcs until costs stabilize.
-// Costs only decrease, so a work-queue relaxation terminates. The
-// queue is seeded in the token map's insertion order, keeping the
-// relaxation — and the EpsArcs count it accumulates — deterministic.
-func (d *Decoder) epsilonClosure(cur *tokenMap, fa *FrameActivity, cfg Config) {
-	queue := make([]int32, 0, cur.len())
-	queue = append(queue, cur.states...)
-	for len(queue) > 0 {
-		s := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		tok, _ := cur.get(s)
-		for _, a := range d.fst.Arcs(s) {
-			if a.ILabel != wfst.Epsilon {
-				continue
-			}
-			fa.EpsArcs++
-			cost := tok.Cost + a.Weight
-			exist, ok := cur.get(a.Next)
-			if ok && exist.Cost <= cost {
-				continue
-			}
-			words := tok.Words
-			if a.OLabel != wfst.Epsilon {
-				words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
-			}
-			cur.set(a.Next, &Token{Cost: cost, Words: words})
-			queue = append(queue, a.Next)
-		}
-	}
 }

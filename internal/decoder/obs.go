@@ -29,4 +29,10 @@ var (
 		"tokens surviving the beam per frame", obs.CountBuckets(1<<20))
 	obsFrameTime = obs.NewTimer("decode.frame_seconds",
 		"wall-clock seconds per PushFrame (search only, scoring excluded)")
+	obsArenaBytes = obs.NewGauge("decode.arena_bytes", "bytes",
+		"resident token/word arena bytes of the most recently finished session")
+	obsArenaRecycled = obs.NewCounter("decode.arena_recycled_bytes", "bytes",
+		"arena bytes reclaimed for reuse by frame rewinds and session restarts")
+	obsSessionReuses = obs.NewCounter("decode.session_reuses", "sessions",
+		"sessions restarted in place, reusing store, maps, and arenas")
 )

@@ -1,0 +1,8 @@
+//go:build !race
+
+package decoder
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression tests skip under it (instrumentation allocates
+// on its own and would fail AllocsPerRun spuriously).
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package decoder
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_off_test.go.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/wfst"
@@ -21,10 +22,10 @@ var (
 )
 
 // Session is one in-flight decode: it owns the mutable search state —
-// the hypothesis store, the live token map, and (via Config.Probe) the
-// accelerator probe — while sharing the immutable Decoder and graph.
-// Both the batch Decode and the incremental Stream are thin layers
-// over a Session.
+// the hypothesis store, the live token maps, the token/word arenas,
+// and (via Config.Probe) the accelerator probe — while sharing the
+// immutable Decoder and graph. Both the batch Decode and the
+// incremental Stream are thin layers over a Session.
 //
 // Goroutine-safety contract (the engine layer relies on this):
 //
@@ -36,13 +37,29 @@ var (
 //     must only be used from a single goroutine at a time.
 //
 // Running one Session per utterance across a worker pool is the
-// intended parallel deployment; see internal/asr's engine.
+// intended parallel deployment; see internal/asr's engine. Pool
+// workers keep their Session across utterances via Restart, which
+// reuses the store, maps, and arenas so steady-state decoding
+// allocates nothing (see DESIGN.md "Memory ownership & pooling").
 type Session struct {
 	d     *Decoder
 	cfg   Config
 	store core.Store[*Token]
 	cur   *tokenMap
+	spare *tokenMap // double buffer: next frame's map (pooled mode)
 	res   Result
+
+	// Pooled allocation state (unused when Config.HeapAlloc). tokens
+	// holds the two frame-parity arenas; words lives for the whole
+	// utterance. queue and costs are the closure / histogram-pruning
+	// scratch. harvest is created once so the per-frame store readout
+	// does not allocate a closure.
+	tokens   [2]arena[Token]
+	words    arena[WordLink]
+	queue    []int32
+	costs    []float64
+	harvest  func(key uint64, cost float64, tok *Token)
+	recycled int64 // arena bytes reclaimed since the last obs flush
 
 	prevCycles int64
 	started    bool
@@ -50,23 +67,100 @@ type Session struct {
 }
 
 // Start opens a decode session. Frames are fed with PushFrame and the
-// final Result is collected with Finish.
+// final Result is collected with Finish; Restart then recycles the
+// session for the next utterance.
 func (d *Decoder) Start(cfg Config) *Session {
 	if cfg.AcousticScale == 0 {
 		cfg.AcousticScale = 1
 	}
-	newStore := cfg.NewStore
-	if newStore == nil {
-		newStore = func() core.Store[*Token] { return core.NewUnbounded[*Token](0, 0, 0) }
+	if cfg.NewStore == nil {
+		cfg.NewStore = func() core.Store[*Token] { return core.NewUnbounded[*Token](0, 0, 0) }
 	}
-	cur := newTokenMap(1)
-	cur.set(d.fst.StartState(), &Token{Cost: 0})
-	return &Session{
+	s := &Session{
 		d:       d,
 		cfg:     cfg,
-		store:   newStore(),
-		cur:     cur,
+		store:   cfg.NewStore(),
 		started: true,
+	}
+	if !cfg.HeapAlloc {
+		if f, ok := d.fst.(*wfst.FST); ok {
+			s.cur = newDenseTokenMap(f.NumStates())
+			s.spare = newDenseTokenMap(f.NumStates())
+		} else {
+			// lazy graph: virtual state space too large for a dense
+			// index; sparse maps still reset in place.
+			s.cur = newTokenMap(64)
+			s.spare = newTokenMap(64)
+		}
+		s.harvest = func(key uint64, cost float64, tok *Token) {
+			tok.Cost = cost // store may have recombined
+			s.spare.set(int32(key), tok)
+		}
+	}
+	s.seed()
+	return s
+}
+
+// Restart recycles a finished (or abandoned) session for the next
+// utterance: the hypothesis store is reset in place (contents and
+// statistics), the token maps and arenas rewind, and the search is
+// re-seeded at the start state. Results and statistics are
+// bit-identical to a fresh Decoder.Start with the same configuration.
+//
+// cfg replaces the session's search parameters, except that NewStore
+// and HeapAlloc are structural — the store was built and the
+// allocation mode chosen at Start — so the values pinned then remain
+// in force and cfg's are ignored.
+func (s *Session) Restart(cfg Config) error {
+	if !s.started {
+		return ErrNotStarted
+	}
+	if cfg.AcousticScale == 0 {
+		cfg.AcousticScale = 1
+	}
+	cfg.NewStore = s.cfg.NewStore
+	cfg.HeapAlloc = s.cfg.HeapAlloc
+	s.cfg = cfg
+
+	s.store.Reset()
+	s.store.ResetStats()
+	s.res = Result{}
+	s.prevCycles = 0
+	s.finished = false
+	if !s.cfg.HeapAlloc {
+		s.recycled += s.tokens[0].rewind() + s.tokens[1].rewind() + s.words.rewind()
+	}
+	s.seed()
+	obsSessionReuses.Inc()
+	return nil
+}
+
+// seed places the initial zero-cost token at the graph's start state.
+// In pooled mode the token comes from arena 1: frame 0 rewinds arena
+// 0, and the seed — dead once frame 0's harvest replaces the map — is
+// reclaimed by frame 1's rewind, exactly like a frame -1 token.
+func (s *Session) seed() {
+	var tok *Token
+	if s.cfg.HeapAlloc {
+		s.cur = newTokenMap(1)
+		tok = &Token{}
+	} else {
+		s.cur.reset()
+		s.spare.reset()
+		tok = s.tokens[1].alloc()
+		tok.Cost = 0
+		tok.Words = nil
+	}
+	s.cur.set(s.d.fst.StartState(), tok)
+}
+
+// Arena reports the session's pooled allocation state (zero when
+// Config.HeapAlloc).
+func (s *Session) Arena() ArenaStats {
+	return ArenaStats{
+		TokenSlots: s.tokens[0].slots() + s.tokens[1].slots(),
+		WordSlots:  s.words.slots(),
+		Bytes:      s.tokens[0].bytes() + s.tokens[1].bytes() + s.words.bytes(),
 	}
 }
 
@@ -81,17 +175,30 @@ func (s *Session) PushFrame(frame []float64) error {
 	}
 	sp := obsFrameTime.Start()
 	fa := FrameActivity{}
-	s.d.epsilonClosure(s.cur, &fa, s.cfg)
-	s.d.expandFrame(s.cur, frame, s.store, &fa, s.cfg)
+	pooled := !s.cfg.HeapAlloc
+	par := s.res.Stats.Frames & 1
+	if pooled {
+		// Reclaim frame t-2's tokens: nothing references them once
+		// frame t-1's harvest replaced the live map.
+		s.recycled += s.tokens[par].rewind()
+	}
+	s.closure(s.cur, &fa, pooled, par)
+	s.expand(frame, &fa, pooled, par)
 
 	// Harvest the store into the next frame's token map, in the
 	// store's own (deterministic) readout order.
-	next := newTokenMap(s.store.Len())
-	s.store.Each(func(key uint64, cost float64, tok *Token) {
-		tok.Cost = cost // store may have recombined
-		next.set(int32(key), tok)
-	})
-	s.cur = next
+	if pooled {
+		s.spare.reset()
+		s.store.Each(s.harvest)
+		s.cur, s.spare = s.spare, s.cur
+	} else {
+		next := newTokenMap(s.store.Len())
+		s.store.Each(func(key uint64, cost float64, tok *Token) {
+			tok.Cost = cost // store may have recombined
+			next.set(int32(key), tok)
+		})
+		s.cur = next
+	}
 
 	cycles := s.store.Stats().Cycles
 	fa.StoreCycles = cycles - s.prevCycles
@@ -138,10 +245,12 @@ func (s *Session) Partial() ([]int, bool) {
 	if !s.started || s.finished {
 		return nil, false
 	}
-	// work on a copy: closure mutates, and the session must continue
+	// Work on a copy: closure mutates, and the session must continue.
+	// The snapshot's relaxation tokens are heap-allocated (pooled=false)
+	// so the frame arenas see only real frame work.
 	snapshot := s.cur.clone()
 	var fa FrameActivity
-	s.d.epsilonClosure(snapshot, &fa, s.cfg)
+	s.closure(snapshot, &fa, false, 0)
 	bestCost := math.Inf(1)
 	var best *Token
 	anyFinal := false
@@ -166,18 +275,20 @@ func (s *Session) Partial() ([]int, bool) {
 }
 
 // Finish ends the session and returns the full result; further
-// PushFrame calls fail. Finish is idempotent, and on a never-started
-// session it returns the zero Result rather than touching absent
-// search state.
+// PushFrame calls fail (use Restart to decode the next utterance).
+// Finish is idempotent, and on a never-started session it returns the
+// zero Result rather than touching absent search state.
 func (s *Session) Finish() Result {
 	if !s.started || s.finished {
 		return s.res
 	}
 	s.finished = true
 	// Final epsilon closure, then collect every surviving final-state
-	// hypothesis (the n-best list) and pick the best.
+	// hypothesis (the n-best list) and pick the best. The closure's
+	// relaxation tokens are heap-allocated: they must survive into the
+	// Result's backtraces, and Finish is off the steady-state path.
 	var fa FrameActivity
-	s.d.epsilonClosure(s.cur, &fa, s.cfg)
+	s.closure(s.cur, &fa, false, 0)
 	bestCost := math.Inf(1)
 	var bestTok *Token
 	s.cur.each(func(st int32, tok *Token) {
@@ -191,6 +302,11 @@ func (s *Session) Finish() Result {
 			bestTok = tok
 		}
 	})
+	// Documented readout order: best first, ties keeping the
+	// final-state iteration order they were collected in.
+	sort.SliceStable(s.res.Finals, func(i, j int) bool {
+		return s.res.Finals[i].Cost < s.res.Finals[j].Cost
+	})
 	if bestTok != nil {
 		s.res.OK = true
 		s.res.Cost = bestCost
@@ -200,40 +316,107 @@ func (s *Session) Finish() Result {
 	obsSessions.Inc()
 	obsCollisions.Add(s.res.Stats.Store.Collisions)
 	obsOverflows.Add(s.res.Stats.Store.Overflows)
+	if !s.cfg.HeapAlloc {
+		obsArenaBytes.Set(float64(s.Arena().Bytes))
+		if s.recycled > 0 {
+			obsArenaRecycled.Add(s.recycled)
+			s.recycled = 0
+		}
+	}
 	return s.res
 }
 
-// expandFrame applies beam/max-active limits and expands emitting arcs
-// of every surviving token into the store.
-func (d *Decoder) expandFrame(cur *tokenMap, frame []float64, store core.Store[*Token], fa *FrameActivity, cfg Config) {
+// closure relaxes non-emitting arcs until costs stabilize. Costs only
+// decrease, so a work-queue relaxation terminates. The queue is seeded
+// in the token map's insertion order, keeping the relaxation — and the
+// EpsArcs count it accumulates — deterministic. Relaxation always
+// creates a fresh token (never mutates in place): Partial snapshots
+// share token pointers with the live map, and the store from the
+// previous frame still points at the harvested tokens.
+//
+// pooled selects where those tokens come from: the frame-parity arena
+// (par) on the hot path, or the heap for the HeapAlloc reference mode
+// and the Partial/Finish readouts.
+func (s *Session) closure(m *tokenMap, fa *FrameActivity, pooled bool, par int) {
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, m.states...)
+	for len(s.queue) > 0 {
+		st := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		tok, _ := m.get(st)
+		for _, a := range s.d.fst.Arcs(st) {
+			if a.ILabel != wfst.Epsilon {
+				continue
+			}
+			fa.EpsArcs++
+			cost := tok.Cost + a.Weight
+			exist, ok := m.get(a.Next)
+			if ok && exist.Cost <= cost {
+				continue
+			}
+			words := tok.Words
+			if a.OLabel != wfst.Epsilon {
+				if pooled {
+					wl := s.words.alloc()
+					wl.Word = wfst.WordOf(a.OLabel)
+					wl.Prev = words
+					words = wl
+				} else {
+					words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
+				}
+			}
+			var nt *Token
+			if pooled {
+				nt = s.tokens[par].alloc()
+				nt.Cost = cost
+				nt.Words = words
+			} else {
+				nt = &Token{Cost: cost, Words: words}
+			}
+			m.set(a.Next, nt)
+			s.queue = append(s.queue, a.Next)
+		}
+	}
+}
+
+// expand applies beam/max-active limits and expands emitting arcs of
+// every surviving token into the store. In pooled mode each candidate
+// token comes from the frame-parity arena; a candidate the store
+// rejects outright is handed straight back (freeLast), so rejection
+// storms — the very workload explosion the paper studies — do not
+// grow the arena.
+func (s *Session) expand(frame []float64, fa *FrameActivity, pooled bool, par int) {
+	cur := s.cur
 	best := math.Inf(1)
-	cur.each(func(_ int32, tok *Token) {
+	for _, tok := range cur.toks {
 		if tok.Cost < best {
 			best = tok.Cost
 		}
-	})
+	}
 	limit := math.Inf(1)
-	if cfg.Beam > 0 {
-		limit = best + cfg.Beam
+	if s.cfg.Beam > 0 {
+		limit = best + s.cfg.Beam
 	}
 	expandLimit := limit
-	if cfg.MaxActive > 0 && cur.len() > cfg.MaxActive {
-		if l := maxActiveLimit(cur, cfg.MaxActive); l < expandLimit {
+	if s.cfg.MaxActive > 0 && cur.len() > s.cfg.MaxActive {
+		if l := s.maxActiveLimit(s.cfg.MaxActive); l < expandLimit {
 			expandLimit = l
 		}
 	}
 
-	store.Reset()
-	cur.each(func(s int32, tok *Token) {
+	d := s.d
+	s.store.Reset()
+	for i, st := range cur.states {
+		tok := cur.toks[i]
 		if tok.Cost > expandLimit {
-			return
+			continue
 		}
 		fa.Active++
-		if cfg.Probe != nil {
-			cfg.Probe.Access(RegionState, int64(s)*stateRecordBytes, stateRecordBytes)
-			cfg.Probe.Access(RegionArc, d.arcAddr(s), len(d.fst.Arcs(s))*arcRecordBytes)
+		if s.cfg.Probe != nil {
+			s.cfg.Probe.Access(RegionState, int64(st)*stateRecordBytes, stateRecordBytes)
+			s.cfg.Probe.Access(RegionArc, d.arcAddr(st), len(d.fst.Arcs(st))*arcRecordBytes)
 		}
-		for _, a := range d.fst.Arcs(s) {
+		for _, a := range d.fst.Arcs(st) {
 			if a.ILabel == wfst.Epsilon {
 				continue
 			}
@@ -241,24 +424,57 @@ func (d *Decoder) expandFrame(cur *tokenMap, frame []float64, store core.Store[*
 			if sen >= len(frame) {
 				panic(fmt.Sprintf("decoder: senone %d outside score vector of %d", sen, len(frame)))
 			}
-			ac := -cfg.AcousticScale * frame[sen]
+			ac := -s.cfg.AcousticScale * frame[sen]
 			cost := tok.Cost + a.Weight + ac
 			fa.EmitArcs++
 			if cost > limit {
 				continue
 			}
-			if cfg.Probe != nil {
-				cfg.Probe.Access(RegionAcoustic, int64(sen)*scoreBytes, scoreBytes)
+			if s.cfg.Probe != nil {
+				s.cfg.Probe.Access(RegionAcoustic, int64(sen)*scoreBytes, scoreBytes)
 			}
 			words := tok.Words
+			var wl *WordLink
 			if a.OLabel != wfst.Epsilon {
-				words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
-				if cfg.Probe != nil {
-					cfg.Probe.Access(RegionLattice, int64(fa.Inserts)*latticeBytes, latticeBytes)
+				if pooled {
+					wl = s.words.alloc()
+					wl.Word = wfst.WordOf(a.OLabel)
+					wl.Prev = words
+					words = wl
+				} else {
+					words = &WordLink{Word: wfst.WordOf(a.OLabel), Prev: words}
+				}
+				if s.cfg.Probe != nil {
+					s.cfg.Probe.Access(RegionLattice, int64(fa.Inserts)*latticeBytes, latticeBytes)
 				}
 			}
 			fa.Inserts++
-			store.Insert(uint64(a.Next), cost, &Token{Cost: cost, Words: words})
+			var nt *Token
+			if pooled {
+				nt = s.tokens[par].alloc()
+				nt.Cost = cost
+				nt.Words = words
+				if s.store.Insert(uint64(a.Next), cost, nt) == core.Rejected {
+					s.tokens[par].freeLast(nt)
+					if wl != nil {
+						s.words.freeLast(wl)
+					}
+				}
+			} else {
+				s.store.Insert(uint64(a.Next), cost, &Token{Cost: cost, Words: words})
+			}
 		}
-	})
+	}
+}
+
+// maxActiveLimit returns the cost threshold that keeps only the n
+// cheapest tokens (histogram pruning's partial sort), using the
+// session's reusable cost scratch.
+func (s *Session) maxActiveLimit(n int) float64 {
+	s.costs = s.costs[:0]
+	for _, tok := range s.cur.toks {
+		s.costs = append(s.costs, tok.Cost)
+	}
+	sort.Float64s(s.costs)
+	return s.costs[n-1]
 }

@@ -7,8 +7,29 @@ package decoder
 // the same scores twice replays the identical access stream (store
 // collision/overflow counters, modelled cycles, cache behaviour). The
 // engine's parallel-equals-serial guarantee rests on this.
+//
+// Two index representations share the type, chosen at construction:
+//
+//   - dense: pos[state] holds the slot in the insertion-order arrays,
+//     valid only while stamp[state] == epoch. reset is an epoch bump —
+//     O(1), no clearing, no allocation — which is what lets a pooled
+//     Session reuse two maps for an entire utterance (and across
+//     utterances). Used for eager graphs, whose state space is known.
+//   - sparse: a Go map, cleared (buckets retained) on reset. Used for
+//     lazy compositions, whose virtual state space is too large to
+//     back with dense arrays, and for the HeapAlloc reference path,
+//     which allocates a fresh map per frame exactly like the pre-pool
+//     decoder did.
+//
+// Both iterate identically: states/toks are the insertion-order
+// arrays either way.
 type tokenMap struct {
-	idx    map[int32]int
+	idx map[int32]int // sparse index (nil when dense)
+
+	pos   []int32  // dense index (nil when sparse)
+	stamp []uint32 // pos[s] valid iff stamp[s] == epoch
+	epoch uint32
+
 	states []int32
 	toks   []*Token
 }
@@ -21,9 +42,26 @@ func newTokenMap(capacity int) *tokenMap {
 	}
 }
 
+// newDenseTokenMap builds an epoch-stamped dense map over a known
+// state space. epoch starts at 1 so the zeroed stamp array marks every
+// state absent.
+func newDenseTokenMap(numStates int) *tokenMap {
+	return &tokenMap{
+		pos:   make([]int32, numStates),
+		stamp: make([]uint32, numStates),
+		epoch: 1,
+	}
+}
+
 func (m *tokenMap) len() int { return len(m.states) }
 
 func (m *tokenMap) get(s int32) (*Token, bool) {
+	if m.pos != nil {
+		if m.stamp[s] != m.epoch {
+			return nil, false
+		}
+		return m.toks[m.pos[s]], true
+	}
 	i, ok := m.idx[s]
 	if !ok {
 		return nil, false
@@ -34,6 +72,17 @@ func (m *tokenMap) get(s int32) (*Token, bool) {
 // set inserts or replaces the token for state s; a replaced state
 // keeps its original position in the iteration order.
 func (m *tokenMap) set(s int32, tok *Token) {
+	if m.pos != nil {
+		if m.stamp[s] == m.epoch {
+			m.toks[m.pos[s]] = tok
+			return
+		}
+		m.stamp[s] = m.epoch
+		m.pos[s] = int32(len(m.states))
+		m.states = append(m.states, s)
+		m.toks = append(m.toks, tok)
+		return
+	}
 	if i, ok := m.idx[s]; ok {
 		m.toks[i] = tok
 		return
@@ -41,6 +90,25 @@ func (m *tokenMap) set(s int32, tok *Token) {
 	m.idx[s] = len(m.states)
 	m.states = append(m.states, s)
 	m.toks = append(m.toks, tok)
+}
+
+// reset empties the map, retaining its backing storage: the insertion
+// arrays are truncated and the index is invalidated wholesale — an
+// epoch bump for the dense form (with a full stamp clear only on the
+// one-in-4-billion wraparound), a bucket-preserving clear for the
+// sparse form.
+func (m *tokenMap) reset() {
+	m.states = m.states[:0]
+	m.toks = m.toks[:0]
+	if m.pos != nil {
+		m.epoch++
+		if m.epoch == 0 {
+			clear(m.stamp)
+			m.epoch = 1
+		}
+		return
+	}
+	clear(m.idx)
 }
 
 // each visits tokens in insertion order. fn must not insert into m;
@@ -51,14 +119,16 @@ func (m *tokenMap) each(fn func(s int32, tok *Token)) {
 	}
 }
 
+// clone returns an independent sparse copy (used by Partial, which
+// runs a closure on a snapshot without disturbing the live search).
 func (m *tokenMap) clone() *tokenMap {
 	c := &tokenMap{
-		idx:    make(map[int32]int, len(m.idx)),
+		idx:    make(map[int32]int, len(m.states)),
 		states: append([]int32(nil), m.states...),
 		toks:   append([]*Token(nil), m.toks...),
 	}
-	for k, v := range m.idx {
-		c.idx[k] = v
+	for i, s := range c.states {
+		c.idx[s] = i
 	}
 	return c
 }

@@ -119,6 +119,7 @@ func (r *recordingStore) Insert(key uint64, cost float64, p *decoder.Token) core
 func (r *recordingStore) Len() int          { return r.inner.Len() }
 func (r *recordingStore) Capacity() int     { return r.inner.Capacity() }
 func (r *recordingStore) Stats() core.Stats { return r.inner.Stats() }
+func (r *recordingStore) ResetStats()       { r.inner.ResetStats() }
 func (r *recordingStore) Each(fn func(uint64, float64, *decoder.Token)) {
 	r.inner.Each(fn)
 }

@@ -83,7 +83,8 @@ func (s *Server) handle(conn net.Conn) {
 
 // run drives the decode loop after admission.
 func (c *session) run(partialEvery int) {
-	dec := c.srv.cfg.Decoder.Start(c.srv.cfg.Decode)
+	dec := c.srv.takeSession()
+	defer c.srv.putSession(dec)
 	scores := make([]float64, c.srv.outDim)
 	frames := 0
 	for {

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSessionPoolReusedAcrossConnections pins the serving layer's
+// session recycling: sequential connections decode through the same
+// pooled decoder.Session (restarted in place, not re-allocated), and
+// recycled sessions produce results bit-identical to local serial
+// decodes.
+func TestSessionPoolReusedAcrossConnections(t *testing.T) {
+	f := newFixture(t)
+	srv, addr, stop := f.start(t, nil)
+	defer stop()
+
+	poolLen := func() int {
+		srv.poolMu.Lock()
+		defer srv.poolMu.Unlock()
+		return len(srv.pool)
+	}
+	if got := poolLen(); got != 0 {
+		t.Fatalf("pool starts with %d sessions, want 0", got)
+	}
+
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		u := f.utts[i%len(f.utts)]
+		frames, want := f.reference(u)
+		rep, _, err := decodeRemote(addr, frames, SessionOptions{ID: fmt.Sprintf("pool%d", i)})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if rep.OK != want.OK || math.Float64bits(rep.Cost) != math.Float64bits(want.Cost) {
+			t.Fatalf("round %d: served (%v, %v) != local (%v, %v)",
+				i, rep.OK, rep.Cost, want.OK, want.Cost)
+		}
+		if fmt.Sprint(rep.Words) != fmt.Sprint(want.Words) {
+			t.Fatalf("round %d: served words %v != local %v", i, rep.Words, want.Words)
+		}
+		// Sequential connections: the session returns to the pool after
+		// each round and the next round takes it back out, so the pool
+		// never holds more than one session. The return happens on the
+		// server's connection goroutine after the final reply is sent,
+		// so allow it a moment to land.
+		deadline := time.Now().Add(5 * time.Second)
+		for poolLen() != 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: pool holds %d sessions, want 1", i, poolLen())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got := srv.Served(); got != rounds {
+		t.Errorf("Served() = %d, want %d", got, rounds)
+	}
+}

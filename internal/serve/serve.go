@@ -124,6 +124,15 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{} // open connections, for forced close
 
+	// poolMu guards pool, the idle decode sessions kept for reuse.
+	// A decoder.Session retains its hypothesis store, token maps, and
+	// arenas across Restart, so a recycled session decodes the next
+	// utterance without allocating; the pool never exceeds
+	// MaxSessions (a session is only returned by a handler that held
+	// an admission slot).
+	poolMu sync.Mutex
+	pool   []*decoder.Session
+
 	served atomic.Int64 // sessions completed (for the CLI summary)
 }
 
@@ -268,6 +277,35 @@ func (s *Server) track(conn net.Conn, add bool) {
 	} else {
 		delete(s.conns, conn)
 	}
+}
+
+// takeSession returns a recycled decode session from the pool, or
+// starts a fresh one. Recycling is invisible to clients: Restart is
+// bit-identical to Decoder.Start with the same configuration.
+func (s *Server) takeSession() *decoder.Session {
+	s.poolMu.Lock()
+	var ses *decoder.Session
+	if n := len(s.pool); n > 0 {
+		ses = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	}
+	s.poolMu.Unlock()
+	if ses != nil {
+		if err := ses.Restart(s.cfg.Decode); err == nil {
+			return ses
+		}
+	}
+	return s.cfg.Decoder.Start(s.cfg.Decode)
+}
+
+// putSession returns a session to the pool once its connection is
+// done with it (finished, failed, or abandoned mid-decode — Restart
+// recovers every case).
+func (s *Server) putSession(ses *decoder.Session) {
+	s.poolMu.Lock()
+	s.pool = append(s.pool, ses)
+	s.poolMu.Unlock()
 }
 
 func (s *Server) closeConns() {
