@@ -34,7 +34,7 @@ go test -race ./...
 # and signal handling — which unit tests can't.
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
-go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload ./cmd/asrdecode
+go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload ./cmd/asrdecode ./cmd/asrrouter
 "$smoke"/asrtrain -scale tiny -out "$smoke/models" >/dev/null
 
 # Backend-parity smoke: decode the same pruned model with the dense
@@ -131,3 +131,105 @@ if ! wait "$server"; then
 	exit 1
 fi
 echo "server smoke test ok ($addr)"
+
+# Router smoke test: two multi-model asrserve backends (a dense and a
+# sparse variant of the same pruned model) behind asrrouter, mixed
+# per-model traffic from asrload, byte-identical transcripts through
+# the router vs direct, and one SIGHUP hot-swap under live traffic
+# with a clean drain at the end. All binaries are race-built.
+cat >"$smoke/models/manifest.json" <<'EOF'
+{
+  "default": "tiny-dense",
+  "variants": [
+    {"name": "tiny-dense",  "model": "tiny-prune90.model", "backend": "dense"},
+    {"name": "tiny-sparse", "model": "tiny-prune90.model", "backend": "sparse"}
+  ]
+}
+EOF
+
+# await_addr PIDVAR OUTFILE ERRFILE: wait for "listening on HOST:PORT"
+# and echo the address; fails the script if the process dies first.
+await_addr() {
+	pid=$1; out=$2; errf=$3; a=
+	for _ in $(seq 1 100); do
+		a=$(sed -n 's/^listening on //p' "$out" 2>/dev/null)
+		[ -n "$a" ] && break
+		if ! kill -0 "$pid" 2>/dev/null; then
+			echo "process $pid exited before listening:" >&2
+			cat "$errf" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	if [ -z "$a" ]; then
+		echo "process $pid never printed its address" >&2
+		exit 1
+	fi
+	echo "$a"
+}
+
+"$smoke"/asrserve -scale tiny -manifest "$smoke/models/manifest.json" \
+	-addr localhost:0 >"$smoke/b1.out" 2>"$smoke/b1.err" &
+backend1=$!
+"$smoke"/asrserve -scale tiny -manifest "$smoke/models/manifest.json" \
+	-addr localhost:0 >"$smoke/b2.out" 2>"$smoke/b2.err" &
+backend2=$!
+addr1=$(await_addr "$backend1" "$smoke/b1.out" "$smoke/b1.err")
+addr2=$(await_addr "$backend2" "$smoke/b2.out" "$smoke/b2.err")
+"$smoke"/asrrouter -backends "$addr1,$addr2" \
+	-addr localhost:0 >"$smoke/rt.out" 2>"$smoke/rt.err" &
+routerpid=$!
+raddr=$(await_addr "$routerpid" "$smoke/rt.out" "$smoke/rt.err")
+
+# Mixed-model traffic direct to a backend vs through the router: the
+# per-utterance transcript lines must be byte-for-byte identical.
+"$smoke"/asrload -scale tiny -addr "$addr1" -sessions 8 \
+	-models tiny-dense,tiny-sparse -v >"$smoke/load.direct"
+"$smoke"/asrload -scale tiny -addr "$raddr" -sessions 8 \
+	-models tiny-dense,tiny-sparse -v >"$smoke/load.routed"
+grep '^utt ' "$smoke/load.direct" >"$smoke/utt.direct"
+grep '^utt ' "$smoke/load.routed" >"$smoke/utt.routed"
+if ! cmp -s "$smoke/utt.direct" "$smoke/utt.routed"; then
+	echo "router parity broken: routed and direct transcripts differ:" >&2
+	diff "$smoke/utt.direct" "$smoke/utt.routed" >&2 || true
+	exit 1
+fi
+
+# Hot-swap under live traffic: SIGHUP backend 1 while a routed load is
+# streaming. In-flight sessions must finish on their pinned plans
+# (asrload exits non-zero on any failed utterance) and — since the
+# reloaded file holds the same weights — transcripts stay identical.
+"$smoke"/asrload -scale tiny -addr "$raddr" -sessions 8 \
+	-models tiny-dense,tiny-sparse -v >"$smoke/load.swap" &
+loadpid=$!
+sleep 0.3
+kill -HUP "$backend1"
+if ! wait "$loadpid"; then
+	echo "asrload failed across the SIGHUP hot-swap" >&2
+	exit 1
+fi
+if ! grep -q 'SIGHUP: reloaded' "$smoke/b1.err"; then
+	echo "backend 1 did not log the SIGHUP reload:" >&2
+	cat "$smoke/b1.err" >&2
+	exit 1
+fi
+grep '^utt ' "$smoke/load.swap" >"$smoke/utt.swap"
+if ! cmp -s "$smoke/utt.direct" "$smoke/utt.swap"; then
+	echo "hot-swap broke transcript parity:" >&2
+	diff "$smoke/utt.direct" "$smoke/utt.swap" >&2 || true
+	exit 1
+fi
+
+# Tear the fleet down: router first, then the backends; every process
+# must drain cleanly (exit 0).
+for victim in "$routerpid" "$backend1" "$backend2"; do
+	kill -TERM "$victim"
+done
+for victim in "$routerpid" "$backend1" "$backend2"; do
+	if ! wait "$victim"; then
+		echo "process $victim did not drain cleanly on SIGTERM" >&2
+		cat "$smoke/rt.err" "$smoke/b1.err" "$smoke/b2.err" >&2
+		exit 1
+	fi
+done
+echo "router smoke test ok (router $raddr -> $addr1, $addr2; hot-swap clean)"

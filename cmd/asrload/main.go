@@ -1,21 +1,32 @@
-// Command asrload is the load generator for asrserve: it synthesizes
-// the scale's deterministic test corpus (the same seed asrdecode
-// uses), splices features client-side, and streams utterances over
-// many concurrent sessions, retrying admission rejects with the
-// server's retry-after hint. It reports throughput, per-utterance
-// latency, reject counts, and — because the corpus reference words
-// are known — the corpus WER of the transcripts the server returned,
-// which must match asrdecode on the same model exactly.
+// Command asrload is the load generator for asrserve and asrrouter:
+// it synthesizes the scale's deterministic test corpus (the same seed
+// asrdecode uses), splices features client-side, and streams
+// utterances over many concurrent sessions — optionally spread across
+// several named model variants (-models) — retrying admission rejects
+// with the server's retry-after hint, whether the reject came from
+// the backend directly or was propagated through the router. It
+// reports throughput, per-utterance latency, reject counts, and per
+// model: session counts, latency percentiles, and — because the
+// corpus reference words are known — the corpus WER of the
+// transcripts the server returned, which must match asrdecode on the
+// same model exactly.
 //
 // Usage:
 //
 //	asrload -addr localhost:8093 [-scale small] [-sessions 32]
-//	        [-utts 0] [-partial-every 0] [-deadline 0]
-//	        [-connect-timeout 10s] [-v]
+//	        [-models name1,name2] [-utts 0] [-partial-every 0]
+//	        [-deadline 0] [-connect-timeout 10s] [-v]
 //
-// -utts 0 streams the scale's whole test set; -connect-timeout keeps
-// redialing a server that is still starting up, so the CI smoke test
-// can launch both processes back to back.
+// -models assigns utterance i to the i%N-th listed variant (empty =
+// the server's default variant), so a run through asrrouter exercises
+// mixed-model traffic with a deterministic utterance→model mapping —
+// the -v transcript lines are byte-comparable between a router-path
+// run and a direct single-server run. -utts 0 streams the scale's
+// whole test set; -connect-timeout keeps redialing a server that is
+// still starting up, so the CI smoke test can launch the fleet back
+// to back. A reject naming the server's available models (unknown
+// variant) is permanent and fails the utterance immediately — only
+// capacity/draining rejects are retried, honoring retry_after_ms.
 package main
 
 import (
@@ -40,9 +51,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("asrload: ")
-	addr := flag.String("addr", "localhost:8093", "asrserve address")
+	addr := flag.String("addr", "localhost:8093", "asrserve or asrrouter address")
 	scaleName := flag.String("scale", "small", "tiny, small or paper (must match the server)")
 	sessions := flag.Int("sessions", 32, "concurrent streaming sessions")
+	models := flag.String("models", "", "comma-separated variant names to spread utterances across (empty = server default)")
 	utts := flag.Int("utts", 0, "utterances to stream (0 = the scale's whole test set)")
 	partialEvery := flag.Int("partial-every", 0, "request a partial hypothesis every N frames")
 	deadline := flag.Duration("deadline", 0, "per-session deadline sent to the server (0 = server default)")
@@ -75,6 +87,21 @@ func main() {
 	}
 	testSet := world.SynthesizeSetNoisy(n, scale.WordsPerUtt, 2002, noise)
 
+	// The utterance→model assignment is deterministic (i % N) so two
+	// runs against different endpoints produce comparable transcripts.
+	var variants []string
+	for _, m := range strings.Split(*models, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			variants = append(variants, m)
+		}
+	}
+	modelFor := func(i int) string {
+		if len(variants) == 0 {
+			return ""
+		}
+		return variants[i%len(variants)]
+	}
+
 	// Wait for the server: retry the first dial until -connect-timeout
 	// so the smoke test can start server and client back to back.
 	if err := awaitServer(*addr, *connectTimeout); err != nil {
@@ -82,6 +109,7 @@ func main() {
 	}
 
 	type outcome struct {
+		model   string
 		words   []int
 		frames  int
 		latency time.Duration
@@ -108,12 +136,14 @@ func main() {
 			for i := range work {
 				u := testSet[i]
 				frames := speech.SpliceAll(u.Frames, scale.Context)
+				model := modelFor(i)
 				t0 := time.Now()
 				rep, err := streamOne(*addr, fmt.Sprintf("utt-%03d", i), frames, serve.SessionOptions{
+					Model:        model,
 					Deadline:     *deadline,
 					PartialEvery: *partialEvery,
 				}, rng, &rejects, &retries)
-				outcomes[i] = outcome{words: rep.Words, frames: rep.Frames, latency: time.Since(t0), err: err}
+				outcomes[i] = outcome{model: model, words: rep.Words, frames: rep.Frames, latency: time.Since(t0), err: err}
 			}
 		}(w)
 	}
@@ -125,6 +155,14 @@ func main() {
 	wall := time.Since(start)
 
 	var corpus wer.Corpus
+	perModel := map[string]*modelStats{}
+	modelOrder := variants
+	if len(modelOrder) == 0 {
+		modelOrder = []string{""}
+	}
+	for _, m := range modelOrder {
+		perModel[m] = &modelStats{}
+	}
 	failed := 0
 	frames := 0
 	latencies := make([]time.Duration, 0, len(testSet))
@@ -138,8 +176,12 @@ func main() {
 		corpus.Add(u.Words, o.words)
 		frames += o.frames
 		latencies = append(latencies, o.latency)
+		ms := perModel[o.model]
+		ms.corpus.Add(u.Words, o.words)
+		ms.latencies = append(ms.latencies, o.latency)
 		if *verbose {
-			fmt.Printf("utt %03d  ref %s\n         hyp %s\n", i, words(u.Words), words(o.words))
+			fmt.Printf("utt %03d model=%s  ref %s\n         hyp %s\n",
+				i, modelLabel(o.model), words(u.Words), words(o.words))
 		}
 	}
 
@@ -147,30 +189,66 @@ func main() {
 		len(testSet)-failed, failed, frames, workers, wall.Seconds())
 	fmt.Printf("rejects: %d (%d retried successfully)\n", rejects.Load(), retries.Load())
 	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		var sum time.Duration
-		for _, l := range latencies {
-			sum += l
-		}
-		fmt.Printf("latency: mean %.1fms  p50 %.1fms  p95 %.1fms  max %.1fms\n",
-			float64(sum.Milliseconds())/float64(len(latencies)),
-			ms(latencies[len(latencies)/2]),
-			ms(latencies[(len(latencies)*95)/100]),
-			ms(latencies[len(latencies)-1]))
+		fmt.Printf("latency: %s\n", percentiles(latencies))
 	}
 	if corpus.RefWords > 0 {
 		fmt.Printf("WER: %.2f%% (%d sub, %d ins, %d del over %d words)\n",
 			corpus.Rate(), corpus.Ops.Substitutions, corpus.Ops.Insertions,
 			corpus.Ops.Deletions, corpus.RefWords)
 	}
+	for _, m := range modelOrder {
+		ms := perModel[m]
+		if len(ms.latencies) == 0 {
+			continue
+		}
+		fmt.Printf("model %s: %d utts   latency: %s   WER: %.2f%%\n",
+			modelLabel(m), len(ms.latencies), percentiles(ms.latencies), ms.corpus.Rate())
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
+// modelStats accumulates per-variant reporting.
+type modelStats struct {
+	corpus    wer.Corpus
+	latencies []time.Duration
+}
+
+func modelLabel(m string) string {
+	if m == "" {
+		return "(default)"
+	}
+	return m
+}
+
+// percentiles formats mean/p50/p95/max over a latency sample.
+func percentiles(latencies []time.Duration) string {
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	p95 := (len(sorted) * 95) / 100
+	if p95 >= len(sorted) {
+		p95 = len(sorted) - 1
+	}
+	return fmt.Sprintf("mean %.1fms  p50 %.1fms  p95 %.1fms  max %.1fms",
+		float64(sum.Milliseconds())/float64(len(sorted)),
+		ms(sorted[len(sorted)/2]),
+		ms(sorted[p95]),
+		ms(sorted[len(sorted)-1]))
+}
+
 // streamOne pushes one utterance through a session, retrying
-// admission rejects with the server's hint (plus jitter) for a
-// bounded number of attempts.
+// capacity/draining rejects with the server's retry_after_ms hint
+// (plus jitter) for a bounded number of attempts. The hint survives
+// the router tier verbatim (asrrouter forwards backend replies
+// byte-for-byte), so backoff through a router behaves exactly like
+// backoff against the backend. Permanent rejects (unknown model,
+// which carry the available-variant listing instead of a hint) fail
+// immediately.
 func streamOne(addr, id string, frames [][]float64, opts serve.SessionOptions, rng *rand.Rand, rejects, retries *atomic.Int64) (serve.Reply, error) {
 	const maxAttempts = 50
 	for attempt := 0; ; attempt++ {
@@ -178,6 +256,9 @@ func streamOne(addr, id string, frames [][]float64, opts serve.SessionOptions, r
 		cs, err := serve.Dial(addr, opts)
 		var rej *serve.RejectedError
 		if errors.As(err, &rej) {
+			if rej.Permanent() {
+				return serve.Reply{}, err
+			}
 			rejects.Add(1)
 			if attempt+1 >= maxAttempts {
 				return serve.Reply{}, fmt.Errorf("rejected %d times: %w", maxAttempts, err)
@@ -218,7 +299,7 @@ func awaitServer(addr string, timeout time.Duration) error {
 			return nil
 		}
 		var rej *serve.RejectedError
-		if errors.As(err, &rej) {
+		if errors.As(err, &rej) && !rej.Permanent() {
 			return nil // server is up, just busy
 		}
 		if time.Now().After(deadline) {

@@ -1,13 +1,16 @@
-// Command asrserve runs the streaming ASR decode service: it loads a
-// model written by asrtrain, regenerates the matching world's decode
-// graph, and serves streaming decode sessions over TCP with
+// Command asrserve runs the streaming ASR decode service: it loads
+// one model (-model) or a multi-model manifest (-manifest) of named
+// (model, backend) variants, regenerates the matching world's decode
+// graph, and serves streaming decode sessions over TCP with per-model
 // cross-session DNN batching, bounded admission, per-request
-// deadlines, and graceful drain on SIGTERM/SIGINT (in-flight
-// sessions finish, then the process exits 0).
+// deadlines, zero-downtime weight hot-swap on SIGHUP, and graceful
+// drain on SIGTERM/SIGINT (in-flight sessions finish, then the
+// process exits 0).
 //
 // Usage:
 //
 //	asrserve -model models/small-prune90.model [-scale small]
+//	asrserve -manifest models/manifest.json    [-scale small]
 //	         [-addr localhost:8093] [-store unbounded|nbest|accurate]
 //	         [-beam 15] [-n 0] [-backend auto|dense|sparse]
 //	         [-batch-window 1ms] [-max-batch 0]
@@ -15,17 +18,28 @@
 //	         [-deadline 2m] [-drain-timeout 30s]
 //	         [-metrics-addr localhost:9090] [-v]
 //
-// -backend selects the kernels of the compiled scoring plan (auto
-// picks CSR sparse for pruned layers); transcripts are bit-identical
-// across backends, only forward-pass latency changes.
+// With -model the single variant is registered under the name
+// "default"; -backend selects its scoring kernels (auto picks CSR
+// sparse for pruned layers). With -manifest each variant carries its
+// own name, model file, and backend (docs/SERVING.md has the format);
+// clients select one with the handshake's model field. Transcripts
+// are bit-identical across backends and batching, only forward-pass
+// latency changes.
 //
-// The wire protocol, batching semantics, and backpressure contract
-// are documented in docs/SERVING.md; cmd/asrload is the matching
-// load generator. Transcripts are bit-identical to asrdecode on the
-// same model — batching and concurrency never change decode output.
-// -addr with port 0 picks a free port; the resolved address is
-// printed as "listening on HOST:PORT" (the line ci.sh's smoke test
-// parses).
+// SIGHUP re-reads every path-backed variant's model file and swaps
+// the fresh weights in atomically: sessions in flight finish on the
+// plan they started with, new sessions decode with the new weights.
+// A failed reload logs and keeps the old weights — the service never
+// stops serving.
+//
+// The wire protocol, manifest format, batching semantics, and
+// backpressure contract are documented in docs/SERVING.md;
+// cmd/asrrouter shards sessions across several asrserve processes and
+// cmd/asrload is the load generator. Transcripts are bit-identical to
+// asrdecode on the same model — batching and concurrency never change
+// decode output. -addr with port 0 picks a free port; the resolved
+// address is printed as "listening on HOST:PORT" (the line ci.sh's
+// smoke test parses).
 package main
 
 import (
@@ -42,6 +56,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/dnn"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/speech"
 	"repro/internal/wfst"
@@ -51,12 +66,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("asrserve: ")
 	scaleName := flag.String("scale", "small", "tiny, small or paper (must match asrtrain)")
-	modelPath := flag.String("model", "", "model file written by asrtrain (required)")
+	modelPath := flag.String("model", "", "model file written by asrtrain (single-variant mode)")
+	manifestPath := flag.String("manifest", "", "multi-model manifest JSON (see docs/SERVING.md)")
 	addr := flag.String("addr", "localhost:8093", "listen address (port 0 = pick a free port)")
 	storeKind := flag.String("store", "unbounded", "hypothesis store: unbounded, nbest or accurate")
 	beam := flag.Float64("beam", asr.DefaultBeam, "beam width in -log space")
 	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
-	backendFlag := flag.String("backend", "auto", "acoustic-scoring kernels: auto, dense or sparse")
+	backendFlag := flag.String("backend", "auto", "acoustic-scoring kernels for -model: auto, dense or sparse")
 	batchWindow := flag.Duration("batch-window", time.Millisecond, "cross-session batching window (negative = opportunistic only)")
 	maxBatch := flag.Int("max-batch", 0, "max frames per batched forward pass (0 = max-sessions)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap; excess starts are rejected")
@@ -73,8 +89,8 @@ func main() {
 	}
 	obs.ServeBackground(*metricsAddr)
 
-	if *modelPath == "" {
-		log.Fatal("-model is required (run asrtrain first)")
+	if (*modelPath == "") == (*manifestPath == "") {
+		log.Fatal("exactly one of -model or -manifest is required (run asrtrain first)")
 	}
 	var scale asr.Scale
 	switch *scaleName {
@@ -88,11 +104,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 
-	backend, err := dnn.ParseBackend(*backendFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
-	net, err := dnn.LoadFile(*modelPath)
+	reg, err := buildRegistry(*modelPath, *manifestPath, *backendFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,9 +112,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if net.OutDim() != world.NumSenones() {
-		log.Fatalf("model has %d outputs but the %q world has %d senones — wrong -scale?",
-			net.OutDim(), scale.Name, world.NumSenones())
+	if reg.OutDim() != world.NumSenones() {
+		log.Fatalf("models have %d outputs but the %q world has %d senones — wrong -scale?",
+			reg.OutDim(), scale.Name, world.NumSenones())
 	}
 	factory, err := asr.StoreFactoryFor(scale, *storeKind, *n)
 	if err != nil {
@@ -110,8 +122,7 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Net:             net,
-		Backend:         backend,
+		Registry:        reg,
 		Decoder:         decoder.New(wfst.Compile(world)),
 		Decode:          decoder.Config{Beam: *beam, AcousticScale: 1, NewStore: factory},
 		MaxSessions:     *maxSessions,
@@ -129,21 +140,36 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("listening on %s\n", bound)
-	log.Printf("model %s (%.0f%% pruned), store %s, beam %.1f, %d session slots, batch window %v",
-		*modelPath, 100*net.GlobalPruning(), *storeKind, *beam, *maxSessions, *batchWindow)
-	log.Printf("backend %s: %s", backend, net.Plan().Describe())
+	log.Printf("%d variant(s), default %q, store %s, beam %.1f, %d session slots, batch window %v",
+		reg.Len(), reg.Default(), *storeKind, *beam, *maxSessions, *batchWindow)
+	for _, name := range reg.Names() {
+		v, _ := reg.Resolve(name)
+		log.Printf("variant %q (backend %s): %s", name, v.Backend(), v.Plan().Describe())
+	}
 
 	// SIGTERM/SIGINT → graceful drain: stop accepting, let in-flight
 	// sessions finish (bounded by -drain-timeout), exit 0.
+	// SIGHUP → hot-swap: reload every path-backed variant's weights;
+	// in-flight sessions finish on their pinned plan.
 	drained := make(chan error, 1)
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
 	go func() {
-		sig := <-sigs
-		log.Printf("%v: draining (%d sessions served so far)...", sig, srv.Served())
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		drained <- srv.Shutdown(ctx)
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				if err := reg.ReloadAll(); err != nil {
+					log.Printf("SIGHUP reload failed (serving old weights): %v", err)
+				} else {
+					log.Printf("SIGHUP: reloaded %d variant(s); in-flight sessions finish on their pinned plans", reg.Len())
+				}
+				continue
+			}
+			log.Printf("%v: draining (%d sessions served so far)...", sig, srv.Served())
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			drained <- srv.Shutdown(ctx)
+			return
+		}
 	}()
 
 	if err := srv.Serve(); err != nil {
@@ -158,4 +184,29 @@ func main() {
 			log.Printf("metrics summary: %v", err)
 		}
 	}
+}
+
+// buildRegistry assembles the model registry from either a single
+// -model file (one variant named "default") or a -manifest.
+func buildRegistry(modelPath, manifestPath, backendFlag string) (*registry.Registry, error) {
+	if manifestPath != "" {
+		m, err := registry.LoadManifest(manifestPath)
+		if err != nil {
+			return nil, err
+		}
+		return m.Build()
+	}
+	backend, err := dnn.ParseBackend(backendFlag)
+	if err != nil {
+		return nil, err
+	}
+	net, err := dnn.LoadFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	reg := registry.New()
+	if _, err := reg.Register("default", modelPath, net, backend); err != nil {
+		return nil, err
+	}
+	return reg, nil
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterFamily is a set of per-label counters registered in the
+// catalogue under one name. It exists for dimensions whose values are
+// only known at runtime — model variant names, backend addresses —
+// where registering one metric per value would defeat the
+// docs/OBSERVABILITY.md catalogue's bidirectional conformance test.
+// The family owns the registered name; children are created on first
+// With(value) and share the registry's enabled flag, so a disabled
+// family costs the same one atomic load per update as every other
+// metric.
+type CounterFamily struct {
+	meta
+	label string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// NewCounterFamilyIn registers (or returns the existing) counter
+// family in r. label names the dimension the children are keyed by
+// (e.g. "model").
+func NewCounterFamilyIn(r *Registry, name, unit, label, help string) *CounterFamily {
+	f := &CounterFamily{
+		meta:     meta{name: name, unit: unit, help: help, on: &r.enabled},
+		label:    label,
+		children: map[string]*Counter{},
+	}
+	return register(r, f)
+}
+
+// NewCounterFamily registers the family in the Default registry.
+func NewCounterFamily(name, unit, label, help string) *CounterFamily {
+	return NewCounterFamilyIn(Default, name, unit, label, help)
+}
+
+// Label returns the name of the dimension children are keyed by.
+func (f *CounterFamily) Label() string { return f.label }
+
+// With returns the child counter for the given label value, creating
+// it on first use. Callers on hot paths should hold the returned
+// *Counter rather than calling With per update; the child's updates
+// are lock-free.
+func (f *CounterFamily) With(value string) *Counter {
+	f.mu.RLock()
+	c := f.children[value]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[value]; c != nil {
+		return c
+	}
+	c = &Counter{meta: meta{
+		name: f.name + "{" + f.label + "=" + value + "}",
+		unit: f.unit, help: f.help, on: f.on,
+	}}
+	f.children[value] = c
+	return c
+}
+
+// Values returns a point-in-time copy of every child's count, keyed
+// by label value.
+func (f *CounterFamily) Values() map[string]int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]int64, len(f.children))
+	for v, c := range f.children {
+		out[v] = c.Value()
+	}
+	return out
+}
+
+// Total returns the sum over all children.
+func (f *CounterFamily) Total() int64 {
+	var t int64
+	for _, v := range f.Values() {
+		t += v
+	}
+	return t
+}
+
+func (f *CounterFamily) snapshot() map[string]any {
+	values := map[string]any{}
+	for v, n := range f.Values() {
+		values[v] = n
+	}
+	return map[string]any{
+		"type": "counter_family", "unit": f.unit, "help": f.help,
+		"label": f.label, "total": f.Total(), "values": values,
+	}
+}
+
+// sortedValues returns "label=value" detail pairs in value order, for
+// the text readout.
+func (f *CounterFamily) sortedValues() []string {
+	vals := f.Values()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -62,6 +62,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case *Histogram:
 			fmt.Fprintf(tw, "%s\thistogram\tn=%d\t%s\tmean=%.4g p50<=%.4g p99<=%.4g\n",
 				v.Name(), v.Count(), v.Unit(), v.Mean(), v.Quantile(0.5), v.Quantile(0.99))
+		case *CounterFamily:
+			detail := ""
+			values := v.Values()
+			for _, k := range v.sortedValues() {
+				if detail != "" {
+					detail += " "
+				}
+				detail += fmt.Sprintf("%s=%d", k, values[k])
+			}
+			fmt.Fprintf(tw, "%s\tfamily\t%d\t%s\t%s\n", v.Name(), v.Total(), v.Unit(), detail)
 		default:
 			fmt.Fprintf(tw, "%s\t?\t\t%s\t\n", m.Name(), m.Unit())
 		}

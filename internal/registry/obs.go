@@ -1,0 +1,13 @@
+package registry
+
+import "repro/internal/obs"
+
+// Registry metrics (catalogued in docs/OBSERVABILITY.md). Like every
+// instrumented package, updates cost one atomic load while
+// observation is disabled and never feed back into serving decisions.
+var (
+	obsPlanSwaps = obs.NewCounter("registry.plan_swaps", "swaps",
+		"variant plan-pointer hot-swaps (weight reloads) since start")
+	obsActiveVariants = obs.NewGauge("registry.active_variants", "variants",
+		"model variants currently registered and servable")
+)

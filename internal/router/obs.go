@@ -1,0 +1,21 @@
+package router
+
+import "repro/internal/obs"
+
+// Router metrics (catalogued in docs/OBSERVABILITY.md). As
+// everywhere, updates are dropped at one atomic load's cost while
+// observation is disabled and never influence routing decisions —
+// which backend a session lands on is a pure function of its id and
+// the backend health set.
+var (
+	obsRouted = obs.NewCounter("router.routed_sessions", "sessions",
+		"sessions spliced through to a backend (admitted by it)")
+	obsRejectsProxied = obs.NewCounter("router.rejects_proxied", "sessions",
+		"backend rejects forwarded verbatim to the client (retry-after hint intact)")
+	obsLocalRejects = obs.NewCounter("router.rejects_local", "sessions",
+		"sessions the router itself rejected (no reachable backend, or draining)")
+	obsDialFailures = obs.NewCounter("router.backend_dial_failures", "dials",
+		"failed backend connects, from health probes or session routing")
+	obsBackendHealthy = obs.NewGauge("router.backend_healthy", "backends",
+		"backends the most recent probes found reachable")
+)

@@ -20,16 +20,19 @@ type scoreReq struct {
 }
 
 // batcher coalesces frames from concurrent sessions into batched DNN
-// forward passes. Sessions submit one frame at a time and wait for
-// its scores before pushing the next, so the maximum useful batch is
-// the number of in-flight sessions; the batcher takes whatever has
-// accumulated within a window of the first arrival (or up to
-// maxBatch) and runs one layer-major batched forward over the
-// server's compiled inference plan. Per-row arithmetic is unchanged
-// by batching and by the plan's kernel choice (the sparse kernel is
-// bit-identical to the dense sum), so scores — and therefore
-// transcripts — are bit-identical to the serial path no matter how
-// frames interleave or which -backend is selected.
+// forward passes over ONE compiled plan. The server runs one batcher
+// per live (variant, plan) pair, so frames only ever coalesce within
+// a model variant — sessions pinned to different variants (or to a
+// pre-hot-swap plan) never share a forward pass. Sessions submit one
+// frame at a time and wait for its scores before pushing the next, so
+// the maximum useful batch is the number of sessions pinned to this
+// plan; the batcher takes whatever has accumulated within a window of
+// the first arrival (or up to maxBatch) and runs one layer-major
+// batched forward. Per-row arithmetic is unchanged by batching and by
+// the plan's kernel choice (the sparse kernel is bit-identical to the
+// dense sum), so scores — and therefore transcripts — are
+// bit-identical to the serial path no matter how frames interleave or
+// which backend the variant selects.
 //
 // The batcher owns its Exec (the plan-execution scratch, reused
 // across batches) while the Plan itself is shared read-only; it runs
@@ -40,11 +43,12 @@ type batcher struct {
 	reqs     chan *scoreReq
 	window   time.Duration
 	maxBatch int
-	// active reports currently admitted sessions — the largest batch
-	// that can still grow this round. Once the batch covers every
-	// active session the batcher flushes without burning the rest of
-	// the window, so lightly loaded servers pay (almost) no batching
-	// latency while saturated ones still coalesce maximally.
+	// active reports sessions currently pinned to this batcher's plan
+	// — the largest batch that can still grow this round. Once the
+	// batch covers every pinned session the batcher flushes without
+	// burning the rest of the window, so lightly loaded variants pay
+	// (almost) no batching latency while saturated ones still coalesce
+	// maximally.
 	active func() int
 	done   chan struct{} // closed when run exits
 }

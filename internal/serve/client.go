@@ -8,20 +8,34 @@ import (
 	"time"
 )
 
-// RejectedError is returned by Dial when admission control refuses
-// the session; RetryAfter is the server's backoff hint.
+// RejectedError is returned by Dial when the server refuses the
+// session. Capacity/draining rejects carry RetryAfter, the server's
+// backoff hint; unknown-model rejects instead carry Available, the
+// variant names the server can decode with. Permanent reports which
+// kind this is — retrying a permanent reject cannot succeed.
 type RejectedError struct {
 	Reason     string
 	RetryAfter time.Duration
+	Available  []string
 }
 
 func (e *RejectedError) Error() string {
+	if e.Permanent() {
+		return fmt.Sprintf("serve: session rejected: %s (available models: %v)", e.Reason, e.Available)
+	}
 	return fmt.Sprintf("serve: session rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
 }
+
+// Permanent reports whether retrying is pointless (the server named
+// the models it does serve and ours is not one of them).
+func (e *RejectedError) Permanent() bool { return len(e.Available) > 0 }
 
 // SessionOptions parameterize one client session.
 type SessionOptions struct {
 	ID string
+	// Model selects the server's registered variant to decode with
+	// ("" = the server's default).
+	Model string
 	// Deadline bounds the whole session server-side (0 = the server's
 	// default).
 	Deadline time.Duration
@@ -36,11 +50,17 @@ type SessionOptions struct {
 // Dial, PushFrame for every spliced feature vector, then Finish. Not
 // safe for concurrent use.
 type ClientSession struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *json.Encoder
-	dec  *json.Decoder
+	conn  net.Conn
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	dec   *json.Decoder
+	model string // resolved variant name from the ready reply
 }
+
+// Model returns the variant name the server resolved for this session
+// (the default variant's name when SessionOptions.Model was empty and
+// the server is model-aware; "" against a pre-registry server).
+func (cs *ClientSession) Model() string { return cs.model }
 
 // Dial opens a session. A *RejectedError means admission control
 // turned the session away and carries the server's retry-after hint.
@@ -62,6 +82,7 @@ func Dial(addr string, opts SessionOptions) (*ClientSession, error) {
 	err = cs.send(Request{
 		Op:           OpStart,
 		ID:           opts.ID,
+		Model:        opts.Model,
 		DeadlineMS:   opts.Deadline.Milliseconds(),
 		PartialEvery: opts.PartialEvery,
 	})
@@ -76,12 +97,14 @@ func Dial(addr string, opts SessionOptions) (*ClientSession, error) {
 	}
 	switch rep.Event {
 	case EventReady:
+		cs.model = rep.Model
 		return cs, nil
 	case EventReject:
 		conn.Close()
 		return nil, &RejectedError{
 			Reason:     rep.Reason,
 			RetryAfter: time.Duration(rep.RetryAfterMS) * time.Millisecond,
+			Available:  rep.Available,
 		}
 	default:
 		conn.Close()

@@ -9,6 +9,8 @@ import (
 	"net"
 	"os"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // session is the per-connection state of one streaming decode.
@@ -18,6 +20,14 @@ type session struct {
 	dec  *json.Decoder
 	bw   *bufio.Writer
 	enc  *json.Encoder
+
+	// Pinned at admission: the model variant's compiled plan and its
+	// batcher. The pin outlives hot-swaps — this session keeps scoring
+	// against exactly these weights until it ends.
+	pb       *planBatcher
+	inDim    int
+	outDim   int
+	frameCtr *obs.Counter // per-model frame counter child
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -50,6 +60,21 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// Resolve the model before spending an admission slot: an unknown
+	// model is a client error, not load, so the reject is structured
+	// (the servable variant names ride along) and carries no
+	// retry-after — backing off will not make the variant exist.
+	variant, ok := s.cfg.Registry.Resolve(req.Model)
+	if !ok {
+		obsRejects.Inc()
+		_ = c.reply(Reply{
+			Event:     EventReject,
+			Reason:    fmt.Sprintf("unknown model %q", req.Model),
+			Available: s.cfg.Registry.Names(),
+		})
+		return
+	}
+
 	ok, reason := s.admit()
 	if !ok {
 		obsRejects.Inc()
@@ -61,7 +86,16 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	defer s.release()
+
+	plan, pb := s.acquireBatcher(variant)
+	defer s.releaseBatcher(plan, pb)
+	c.pb = pb
+	c.inDim = plan.InDim()
+	c.outDim = plan.OutDim()
+	c.frameCtr = obsModelFrames.With(variant.Name())
+
 	obsSessionsTotal.Inc()
+	obsModelSessions.With(variant.Name()).Inc()
 	obsSessionsActive.Add(1)
 	defer obsSessionsActive.Add(-1)
 
@@ -72,7 +106,7 @@ func (s *Server) handle(conn net.Conn) {
 	c.ctx, c.cancel = context.WithTimeout(context.Background(), deadline)
 	defer c.cancel()
 
-	if err := c.reply(Reply{Event: EventReady, Session: req.ID}); err != nil {
+	if err := c.reply(Reply{Event: EventReady, Session: req.ID, Model: variant.Name()}); err != nil {
 		obsErrors.Inc()
 		return
 	}
@@ -85,7 +119,7 @@ func (s *Server) handle(conn net.Conn) {
 func (c *session) run(partialEvery int) {
 	dec := c.srv.takeSession()
 	defer c.srv.putSession(dec)
-	scores := make([]float64, c.srv.outDim)
+	scores := make([]float64, c.outDim)
 	frames := 0
 	for {
 		req, err := c.read()
@@ -95,13 +129,14 @@ func (c *session) run(partialEvery int) {
 		}
 		switch req.Op {
 		case OpFrame:
-			if len(req.Data) != c.srv.inDim {
-				c.fail(fmt.Errorf("frame has %d features, model wants %d", len(req.Data), c.srv.inDim))
+			if len(req.Data) != c.inDim {
+				c.fail(fmt.Errorf("frame has %d features, model wants %d", len(req.Data), c.inDim))
 				return
 			}
 			// One in-flight frame per session: score (possibly batched
-			// with other sessions' frames), then advance the search.
-			if err := c.srv.batcher.score(c.ctx, req.Data, scores); err != nil {
+			// with other sessions' frames on the same pinned plan), then
+			// advance the search.
+			if err := c.pb.score(c.ctx, req.Data, scores); err != nil {
 				c.fail(err)
 				return
 			}
@@ -110,6 +145,7 @@ func (c *session) run(partialEvery int) {
 				return
 			}
 			frames++
+			c.frameCtr.Inc()
 			if partialEvery > 0 && frames%partialEvery == 0 {
 				words, _ := dec.Partial()
 				if err := c.reply(Reply{Event: EventPartial, Words: words, Frames: frames}); err != nil {

@@ -14,7 +14,11 @@ var (
 	obsSessionsTotal = obs.NewCounter("serve.sessions_total", "sessions",
 		"decode sessions admitted since start")
 	obsRejects = obs.NewCounter("serve.rejects", "sessions",
-		"session starts rejected by admission control (at capacity or draining)")
+		"session starts rejected (at capacity, draining, or unknown model)")
+	obsModelSessions = obs.NewCounterFamily("serve.model_sessions", "sessions", "model",
+		"decode sessions admitted, per model variant")
+	obsModelFrames = obs.NewCounterFamily("serve.model_frames", "frames", "model",
+		"acoustic frames scored, per model variant")
 	obsErrors = obs.NewCounter("serve.errors", "errors",
 		"sessions ended by a protocol or I/O error")
 	obsDeadlineExceeded = obs.NewCounter("serve.deadline_exceeded", "sessions",

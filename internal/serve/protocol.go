@@ -7,14 +7,15 @@ package serve
 //
 // Client → server:
 //
-//	{"op":"start","id":"utt-3","deadline_ms":30000,"partial_every":8}
+//	{"op":"start","id":"utt-3","model":"tiny-sparse","deadline_ms":30000,"partial_every":8}
 //	{"op":"frame","data":[...]}        // spliced features, len = InDim
 //	{"op":"finish"}
 //
 // Server → client:
 //
-//	{"event":"ready","session":"utt-3"}
+//	{"event":"ready","session":"utt-3","model":"tiny-sparse"}
 //	{"event":"reject","reason":"...","retry_after_ms":250}
+//	{"event":"reject","reason":"unknown model ...","available":["a","b"]}
 //	{"event":"partial","words":[...]}  // every partial_every frames
 //	{"event":"result","ok":true,"words":[...],"cost":...,"frames":42}
 //	{"event":"error","reason":"..."}
@@ -41,6 +42,10 @@ type Request struct {
 
 	// start fields
 	ID string `json:"id,omitempty"` // client-chosen session label, echoed in ready
+	// Model names the registered variant to decode with ("" = the
+	// server's default variant). An unknown name is answered with a
+	// structured reject listing the available variants.
+	Model string `json:"model,omitempty"`
 	// DeadlineMS bounds the whole session in wall-clock milliseconds
 	// from admission (0 = the server's default deadline).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -56,10 +61,16 @@ type Request struct {
 type Reply struct {
 	Event   string `json:"event"`
 	Session string `json:"session,omitempty"` // ready: echoed start ID
+	Model   string `json:"model,omitempty"`   // ready: resolved variant name
 	Reason  string `json:"reason,omitempty"`  // reject / error detail
-	// RetryAfterMS accompanies reject: the client should back off at
-	// least this long before redialing (admission backpressure).
+	// RetryAfterMS accompanies capacity/draining rejects: the client
+	// should back off at least this long before redialing (admission
+	// backpressure). Unknown-model rejects omit it — retrying cannot
+	// help.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Available accompanies unknown-model rejects: the variant names
+	// this server can decode with.
+	Available []string `json:"available,omitempty"`
 
 	// partial / result payload
 	Words  []int   `json:"words,omitempty"`

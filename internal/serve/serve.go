@@ -2,24 +2,37 @@
 // stdlib-only TCP server that turns the repo's batch decode pipeline
 // into the serving deployment the paper's accelerators target. Each
 // connection is one decoder.Session fed frame by frame; acoustic
-// scoring is amortized by a cross-session dynamic batcher that
-// coalesces frames arriving from concurrent sessions into one
-// layer-major dnn forward pass (bit-identical per row, so transcripts
-// match the offline CLIs exactly).
+// scoring is amortized by per-model cross-session dynamic batchers
+// that coalesce frames arriving from concurrent sessions pinned to
+// the same model variant into one layer-major dnn forward pass
+// (bit-identical per row, so transcripts match the offline CLIs
+// exactly).
+//
+// The server fronts a model registry (internal/registry): N named
+// (model, backend) variants served side by side, selected per session
+// by the handshake's model field, with atomic plan-pointer hot-swap —
+// in-flight sessions finish on the plan they pinned at admission, new
+// sessions pick up reloaded weights, and frames only ever batch
+// within one plan, which is what keeps row-wise bit-identity intact
+// across a fleet of coexisting variants.
 //
 // The production plumbing around that core is the point of the
 // package: bounded admission (explicit reject with a retry-after hint
-// instead of unbounded queue growth), per-request deadlines and idle
-// timeouts, graceful drain on shutdown (in-flight sessions finish,
-// new ones are refused), and full internal/obs instrumentation
-// (active sessions, batch-size histogram, queue depth/wait, rejects,
-// per-request latency). It is where the paper's "dark side" becomes
-// operational: a 90%-pruned model inflates per-frame search cost, so
-// under concurrent load the serve.request_seconds histogram shows the
-// tail blowup that Figure 4's workload explosion predicts.
+// instead of unbounded queue growth; unknown models get a structured
+// reject listing the servable variants), per-request deadlines and
+// idle timeouts, graceful drain on shutdown (in-flight sessions
+// finish, new ones are refused), and full internal/obs
+// instrumentation (active sessions, per-model session/frame counters,
+// batch-size histogram, queue depth/wait, rejects, per-request
+// latency). It is where the paper's "dark side" becomes operational:
+// a 90%-pruned model inflates per-frame search cost, so under
+// concurrent load the serve.request_seconds histogram shows the tail
+// blowup that Figure 4's workload explosion predicts — now comparable
+// across pruning levels within one process.
 //
 // Protocol and semantics are documented in docs/SERVING.md;
-// cmd/asrserve is the binary and cmd/asrload the load generator.
+// cmd/asrserve is the binary, cmd/asrrouter the shard router in front
+// of it, and cmd/asrload the load generator.
 package serve
 
 import (
@@ -33,22 +46,33 @@ import (
 
 	"repro/internal/decoder"
 	"repro/internal/dnn"
+	"repro/internal/registry"
 )
 
-// Config assembles a Server. Net and Graph are required; everything
-// else has serving-grade defaults.
+// Config assembles a Server. Decoder and either Registry or Net are
+// required; everything else has serving-grade defaults.
 type Config struct {
-	// Net scores frames. New compiles it into an inference plan under
-	// Backend; the weights must not change for the server's lifetime
-	// (pass a Clone to keep mutating the original).
+	// Registry holds the named model variants this server offers;
+	// sessions select one with the handshake's model field (empty =
+	// the registry's default). Variant weights may be hot-swapped
+	// while serving (registry.Variant.Swap / Reload): sessions in
+	// flight finish on the plan they pinned at admission.
+	Registry *registry.Registry
+	// Net is the legacy single-model configuration: when Registry is
+	// nil, Net is compiled under Backend and registered as the sole
+	// variant, named "default". The weights must not change for the
+	// server's lifetime (pass a Clone to keep mutating the original).
 	Net *dnn.Network
-	// Backend selects the scoring kernels of the compiled plan: auto
-	// (default; CSR sparse for pruned layers under the density
-	// threshold), dense, or sparse. Transcripts are bit-identical
-	// across backends; only the forward-pass cost changes.
+	// Backend selects the scoring kernels compiled for Net (ignored
+	// when Registry is set): auto (default; CSR sparse for pruned
+	// layers under the density threshold), dense, or sparse.
+	// Transcripts are bit-identical across backends; only the
+	// forward-pass cost changes.
 	Backend dnn.Backend
 	// Decoder is the shared read-only search graph wrapper; any
-	// number of sessions decode against it concurrently.
+	// number of sessions decode against it concurrently. All variants
+	// share it, so every variant must produce the same senone set
+	// (enforced by registry.Register).
 	Decoder *decoder.Decoder
 	// Decode configures each session's search (beam, store factory,
 	// acoustic scale). The store factory is invoked once per session.
@@ -57,11 +81,11 @@ type Config struct {
 	// MaxSessions bounds concurrently admitted sessions; starts
 	// beyond it are rejected with a retry-after hint (default 64).
 	MaxSessions int
-	// QueueDepth bounds the batcher's frame queue; a full queue
-	// blocks sessions (TCP backpressure), never grows (default
+	// QueueDepth bounds each per-model batcher's frame queue; a full
+	// queue blocks sessions (TCP backpressure), never grows (default
 	// 4*MaxSessions).
 	QueueDepth int
-	// BatchWindow is how long the batcher waits from the first queued
+	// BatchWindow is how long a batcher waits from the first queued
 	// frame for companions before flushing a forward pass (default
 	// 1ms; negative = flush immediately, batching only what is
 	// already queued).
@@ -81,8 +105,21 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() error {
-	if c.Net == nil || c.Decoder == nil {
-		return errors.New("serve: Config.Net and Config.Decoder are required")
+	if c.Registry == nil && c.Net == nil {
+		return errors.New("serve: Config needs Registry or Net")
+	}
+	if c.Decoder == nil {
+		return errors.New("serve: Config.Decoder is required")
+	}
+	if c.Registry == nil {
+		reg := registry.New()
+		if _, err := reg.Register("default", "", c.Net, c.Backend); err != nil {
+			return err
+		}
+		c.Registry = reg
+	}
+	if c.Registry.Len() == 0 {
+		return errors.New("serve: Config.Registry has no variants")
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
@@ -111,10 +148,7 @@ func (c *Config) fillDefaults() error {
 // Server is the streaming decode service. Create with New, bind with
 // Listen, run with Serve, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	inDim   int
-	outDim  int
-	batcher *batcher
+	cfg Config
 
 	ln       net.Listener
 	draining atomic.Bool
@@ -124,16 +158,38 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{} // open connections, for forced close
 
+	// batchMu guards batchers, the per-plan batcher table. Frames only
+	// coalesce within one compiled plan — mixing variants in a batch
+	// would still be row-wise correct, but per-plan batchers keep the
+	// batch loop free of per-row plan dispatch and make the variant the
+	// unit of hot-swap: a swapped-out plan's batcher drains its pinned
+	// sessions and is then retired.
+	batchMu  sync.Mutex
+	batchers map[*dnn.Plan]*planBatcher
+
 	// poolMu guards pool, the idle decode sessions kept for reuse.
 	// A decoder.Session retains its hypothesis store, token maps, and
 	// arenas across Restart, so a recycled session decodes the next
 	// utterance without allocating; the pool never exceeds
 	// MaxSessions (a session is only returned by a handler that held
-	// an admission slot).
+	// an admission slot). Decode sessions carry no model state —
+	// scores arrive from the pinned plan's batcher — so one pool
+	// serves every variant.
 	poolMu sync.Mutex
 	pool   []*decoder.Session
 
 	served atomic.Int64 // sessions completed (for the CLI summary)
+}
+
+// planBatcher is one model variant's batcher plus the count of
+// sessions currently pinned to its plan. refs doubles as the
+// batcher's live-session signal: once a batch holds a frame from
+// every pinned session nothing more can arrive, so the batcher
+// flushes without waiting out the window.
+type planBatcher struct {
+	*batcher
+	variant *registry.Variant
+	refs    atomic.Int64
 }
 
 // New validates cfg, applies defaults, and returns an unbound server.
@@ -141,23 +197,17 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	srv := &Server{
-		cfg:    cfg,
-		inDim:  cfg.Net.InDim(),
-		outDim: cfg.Net.OutDim(),
-		sem:    make(chan struct{}, cfg.MaxSessions),
-		conns:  map[net.Conn]struct{}{},
-	}
-	// The scoring plan is compiled once here; the batcher owns the
-	// only Exec over it. len(sem) is the live admitted-session count:
-	// the batcher uses it to flush as soon as every in-flight session
-	// is represented in the batch instead of always waiting out the
-	// window.
-	cfg.Net.SetPlanConfig(dnn.PlanConfig{Backend: cfg.Backend})
-	srv.batcher = newBatcher(cfg.Net.Plan(), cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow,
-		func() int { return len(srv.sem) })
-	return srv, nil
+	return &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxSessions),
+		conns:    map[net.Conn]struct{}{},
+		batchers: map[*dnn.Plan]*planBatcher{},
+	}, nil
 }
+
+// Registry exposes the server's model registry (for hot-swap wiring
+// and startup logging).
+func (s *Server) Registry() *registry.Registry { return s.cfg.Registry }
 
 // Listen binds the server to addr ("localhost:0" picks a free port)
 // and returns the resolved address. Call before Serve.
@@ -178,14 +228,14 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Serve runs the batcher and the accept loop; it blocks until
-// Shutdown (returning nil) or a listener failure. One connection is
-// one decode session.
+// Serve runs the accept loop; it blocks until Shutdown (returning
+// nil) or a listener failure. One connection is one decode session.
+// Batchers start lazily with the first session pinned to each
+// variant's plan.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("serve: Serve before Listen")
 	}
-	go s.batcher.run()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -213,7 +263,7 @@ func (s *Server) Served() int64 { return s.served.Load() }
 // Shutdown drains the server: the listener closes immediately (new
 // connections are refused, and a session start racing the close is
 // rejected with a "draining" reply), in-flight sessions run to
-// completion, then the batcher flushes and stops. If ctx expires
+// completion, then every batcher flushes and stops. If ctx expires
 // first, the remaining connections are closed forcibly and ctx's
 // error is returned. Shutdown is idempotent only in its drain effect;
 // call it once.
@@ -242,8 +292,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closeConns()
 		<-done // handlers exit promptly once their conns are closed
 	}
-	s.batcher.stop()
+	// No session can submit anymore; stop whatever batchers remain
+	// (retired ones were already stopped on their last release).
+	s.batchMu.Lock()
+	remaining := make([]*planBatcher, 0, len(s.batchers))
+	for plan, pb := range s.batchers {
+		remaining = append(remaining, pb)
+		delete(s.batchers, plan)
+	}
+	s.batchMu.Unlock()
+	for _, pb := range remaining {
+		pb.stop()
+	}
 	return err
+}
+
+// acquireBatcher pins the variant's current plan for one session: it
+// returns the plan and the (possibly just-started) batcher dedicated
+// to it, with the session counted in. Release with releaseBatcher
+// when the session ends. Between a hot-swap and the last pinned
+// session's release, old plan and new plan each have a live batcher —
+// frames never coalesce across the swap.
+func (s *Server) acquireBatcher(v *registry.Variant) (*dnn.Plan, *planBatcher) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	plan := v.Plan()
+	pb := s.batchers[plan]
+	if pb == nil {
+		pb = &planBatcher{variant: v}
+		pb.batcher = newBatcher(plan, s.cfg.QueueDepth, s.cfg.MaxBatch, s.cfg.BatchWindow,
+			func() int { return int(pb.refs.Load()) })
+		s.batchers[plan] = pb
+		go pb.run()
+	}
+	pb.refs.Add(1)
+	return plan, pb
+}
+
+// releaseBatcher drops one session's pin. A batcher whose plan has
+// been swapped out is retired once its last session releases; the
+// current plan's batcher stays (idle batchers cost one parked
+// goroutine).
+func (s *Server) releaseBatcher(plan *dnn.Plan, pb *planBatcher) {
+	s.batchMu.Lock()
+	retire := pb.refs.Add(-1) == 0 && pb.variant.Plan() != plan
+	if retire {
+		delete(s.batchers, plan)
+	}
+	s.batchMu.Unlock()
+	if retire {
+		// No submitter exists (refs hit 0 and the plan is unreachable
+		// from acquireBatcher), so stop only waits for the final flush.
+		pb.stop()
+	}
 }
 
 // admit claims an admission slot, or explains why it cannot. On
