@@ -34,7 +34,7 @@ go test -race ./...
 # and signal handling — which unit tests can't.
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
-go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload ./cmd/asrdecode ./cmd/asrrouter
+go build -race -o "$smoke" ./cmd/asrtrain ./cmd/asrserve ./cmd/asrload ./cmd/asrdecode ./cmd/asrrouter ./cmd/darkside
 "$smoke"/asrtrain -scale tiny -out "$smoke/models" >/dev/null
 
 # Backend-parity smoke: decode the same pruned model with the dense
@@ -51,6 +51,56 @@ if ! cmp -s "$smoke/decode.dense" "$smoke/decode.sparse"; then
 	exit 1
 fi
 echo "backend parity smoke ok (dense == sparse byte-for-byte)"
+
+# Adaptive-controller smoke: run the scenario matrix (which includes
+# the noisy 90%-pruned scenario, the paper's worst case) twice at tiny
+# scale and require byte-identical output — the user-visible face of
+# the adaptive determinism contract in docs/ADAPTIVE.md. The archive
+# under docs/results-adaptive/ is regenerated from exactly this
+# command.
+"$smoke"/darkside -scale tiny -only adaptive >"$smoke/adaptive.1" 2>/dev/null
+"$smoke"/darkside -scale tiny -only adaptive >"$smoke/adaptive.2" 2>/dev/null
+if ! cmp -s "$smoke/adaptive.1" "$smoke/adaptive.2"; then
+	echo "adaptive determinism broken: two scenario-matrix runs differ:" >&2
+	diff "$smoke/adaptive.1" "$smoke/adaptive.2" >&2 || true
+	exit 1
+fi
+if ! grep -q '^noisy *90%' "$smoke/adaptive.1"; then
+	echo "adaptive smoke missing the noisy 90% scenario rows:" >&2
+	cat "$smoke/adaptive.1" >&2
+	exit 1
+fi
+echo "adaptive smoke ok (scenario matrix byte-stable across runs)"
+
+# Docs-link audit: every file under docs/ must be reachable from
+# README.md or DESIGN.md by following relative markdown links
+# (transitively), so no document or archived result can go orphaned.
+reach="$smoke/docs.reach"
+printf 'README.md\nDESIGN.md\n' >"$reach"
+while :; do
+	cp "$reach" "$reach.prev"
+	while IFS= read -r f; do
+		[ -f "$f" ] || continue
+		d=$(dirname "$f")
+		grep -oE '\]\([^)]+\)' "$f" 2>/dev/null |
+			sed -e 's/^](//' -e 's/)$//' -e 's/#.*$//' |
+			while IFS= read -r t; do
+				[ -n "$t" ] || continue
+				case $t in http://*|https://*|mailto:*) continue ;; esac
+				p=$(realpath -m --relative-to=. "$d/$t" 2>/dev/null) || continue
+				[ -f "$p" ] && echo "$p"
+			done
+	done <"$reach.prev" >>"$reach"
+	sort -u "$reach" -o "$reach"
+	cmp -s "$reach" "$reach.prev" && break
+done
+orphans=$(find docs -type f | sort | grep -vxF -f "$reach" || true)
+if [ -n "$orphans" ]; then
+	echo "docs files not reachable from README.md/DESIGN.md:" >&2
+	echo "$orphans" >&2
+	exit 1
+fi
+echo "docs link audit ok ($(find docs -type f | wc -l) files reachable)"
 
 # Distil the dense-vs-sparse forward benches into BENCH_dnn.json and
 # enforce the acceptance floor: sparse >= 3x faster than dense on the

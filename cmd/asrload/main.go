@@ -15,7 +15,13 @@
 //
 //	asrload -addr localhost:8093 [-scale small] [-sessions 32]
 //	        [-models name1,name2] [-utts 0] [-partial-every 0]
-//	        [-deadline 0] [-connect-timeout 10s] [-v]
+//	        [-deadline 0] [-connect-timeout 10s] [-adapt 0] [-v]
+//
+// -adapt N asks the server to decode every session under the adaptive
+// beam controller with the scale's default configuration at an
+// occupancy SLO of N live tokens per frame (0 = static decode; see
+// docs/ADAPTIVE.md). Adaptive transcripts are deterministic but
+// deliberately not comparable to static ones.
 //
 // -models assigns utterance i to the i%N-th listed variant (empty =
 // the server's default variant), so a run through asrrouter exercises
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/asr"
+	"repro/internal/control"
 	"repro/internal/serve"
 	"repro/internal/speech"
 	"repro/internal/wer"
@@ -59,6 +66,7 @@ func main() {
 	partialEvery := flag.Int("partial-every", 0, "request a partial hypothesis every N frames")
 	deadline := flag.Duration("deadline", 0, "per-session deadline sent to the server (0 = server default)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "how long to keep retrying the first connection")
+	adapt := flag.Int("adapt", 0, "adaptive beam controller occupancy SLO in live tokens per frame (0 = static decode)")
 	verbose := flag.Bool("v", false, "print every transcript")
 	flag.Parse()
 
@@ -86,6 +94,16 @@ func main() {
 		n = scale.TestUtts
 	}
 	testSet := world.SynthesizeSetNoisy(n, scale.WordsPerUtt, 2002, noise)
+
+	var ctlCfg *control.Config
+	if *adapt > 0 {
+		cc := scale.DefaultControl()
+		cc.TargetOccupancy = *adapt
+		if err := cc.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		ctlCfg = &cc
+	}
 
 	// The utterance→model assignment is deterministic (i % N) so two
 	// runs against different endpoints produce comparable transcripts.
@@ -142,6 +160,7 @@ func main() {
 					Model:        model,
 					Deadline:     *deadline,
 					PartialEvery: *partialEvery,
+					Control:      ctlCfg,
 				}, rng, &rejects, &retries)
 				outcomes[i] = outcome{model: model, words: rep.Words, frames: rep.Frames, latency: time.Since(t0), err: err}
 			}

@@ -26,6 +26,15 @@
 // are bit-identical across backends and batching, only forward-pass
 // latency changes.
 //
+// A session's handshake may carry a "control" object to decode that
+// session under the adaptive beam controller (internal/control): the
+// server validates it before admission — an invalid configuration is
+// a permanent structured reject — and the session's beam width and
+// max-active cap then adapt frame by frame under the requested
+// occupancy SLO. Adaptive decodes are exactly as deterministic as
+// static ones; docs/ADAPTIVE.md specifies the control law and
+// docs/SERVING.md the wire field.
+//
 // SIGHUP re-reads every path-backed variant's model file and swaps
 // the fresh weights in atomically: sessions in flight finish on the
 // plan they started with, new sessions decode with the new weights.

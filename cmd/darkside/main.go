@@ -123,6 +123,7 @@ func main() {
 		{"gmm", func() (*experiments.Table, error) { return experiments.GMMTable(sys) }},
 		{"maxactive", func() (*experiments.Table, error) { return experiments.MaxActiveTable(sys) }},
 		{"unfold", func() (*experiments.Table, error) { return experiments.UnfoldTable(sys) }},
+		{"adaptive", func() (*experiments.Table, error) { return experiments.AdaptiveMatrix(sys) }},
 	}
 
 	for _, g := range gens {

@@ -1,0 +1,74 @@
+package asr
+
+import "repro/internal/control"
+
+// DefaultControl returns the adaptive beam controller configuration
+// tuned for this scale: the occupancy SLO sits at the N-best bound of
+// the scale's hypothesis table (the occupancy the static NBest
+// mitigation provisions hardware for), and the K range is floored at
+// that same bound — histogram pruning may bound occupancy when
+// posteriors flatten but never below what the N-best mitigation would
+// keep, which is what preserves WER. The beam floor of 12 sits just
+// under the scales' tuned reduced-beam ladder (the point past which
+// static beam reduction starts costing accuracy; see Scale
+// ReducedBeams), so the controller can spend pressure on the beam
+// without crossing it. Tuned empirically on the 90%-pruned model:
+// equal WER at roughly half the static peak occupancy (the worked
+// numbers are in docs/ADAPTIVE.md and docs/results-adaptive/).
+func (s Scale) DefaultControl() control.Config {
+	n := s.NBestN()
+	if n <= 0 {
+		n = 32
+	}
+	kStep := n / 8
+	if kStep < 1 {
+		kStep = 1
+	}
+	return control.Config{
+		TargetOccupancy: n,
+		MinBeam:         12,
+		MaxBeam:         DefaultBeam,
+		BeamStep:        0.5,
+		LowConfidence:   0.3,
+		MinK:            n,
+		MaxK:            4 * n,
+		KStep:           kStep,
+	}
+}
+
+// ControlSummary aggregates the per-utterance controller stats of one
+// pipeline run, in test-set index order. The zero value means the
+// controller was off.
+type ControlSummary struct {
+	Frames        int     // frames decided by the controller
+	Tightens      int     // steps down
+	Relaxes       int     // steps up
+	Clamps        int     // steps truncated at a beam bound
+	SLOViolations int     // frames entering above the occupancy SLO
+	BeamSum       float64 // sum of applied beams
+	MinBeam       float64 // tightest beam applied anywhere in the run
+}
+
+// add folds one utterance's controller stats into the summary.
+func (c *ControlSummary) add(s control.Stats) {
+	if s.Frames == 0 {
+		return
+	}
+	if c.Frames == 0 || s.MinBeamSeen < c.MinBeam {
+		c.MinBeam = s.MinBeamSeen
+	}
+	c.Frames += s.Frames
+	c.Tightens += s.Tightens
+	c.Relaxes += s.Relaxes
+	c.Clamps += s.Clamps
+	c.SLOViolations += s.SLOViolations
+	c.BeamSum += s.BeamSum
+}
+
+// MeanBeam reports the average beam width applied across the run.
+func (c ControlSummary) MeanBeam() float64 {
+	if c.Frames == 0 {
+		return 0
+	}
+	return c.BeamSum / float64(c.Frames)
+}

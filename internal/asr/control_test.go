@@ -1,0 +1,136 @@
+package asr
+
+import (
+	"strings"
+	"testing"
+)
+
+// adaptivePreset is the 90%-pruned baseline store with the scale's
+// default controller — the configuration the scenario archive's
+// adaptive rows run.
+func adaptivePreset(sys *System) PipelineConfig {
+	cfg := sys.Preset(MitigationNone, 90)
+	cfg.Name = "Adaptive-90"
+	ctl := sys.Scale.DefaultControl()
+	cfg.Control = &ctl
+	cfg.RecordFrames = true
+	return cfg
+}
+
+// TestAdaptiveParallelMatchesSerial extends the engine's determinism
+// guarantee to adaptive decodes: the controller's per-frame decisions,
+// the peak occupancy, and the per-frame cycle records are identical
+// between a single-goroutine run and a full-width pool. Run under
+// -race this is also the shared-state audit of the controller path.
+func TestAdaptiveParallelMatchesSerial(t *testing.T) {
+	sys := tinySystem(t)
+	cfg := adaptivePreset(sys)
+
+	serial, err := sys.RunEngine(cfg, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig(), SerialEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sys.RunEngine(cfg, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig(), EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, serial, parallel)
+	if serial.Control.Frames != serial.Frames {
+		t.Fatalf("controller decided %d frames of %d", serial.Control.Frames, serial.Frames)
+	}
+	if len(serial.FrameCycles) != serial.Frames {
+		t.Fatalf("recorded %d frame cycles for %d frames", len(serial.FrameCycles), serial.Frames)
+	}
+
+	// Repeatability: the same configuration twice is bit-identical —
+	// the controller reads no clock and no randomness.
+	again, err := sys.RunEngine(cfg, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig(), EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, serial, again)
+}
+
+// TestAdaptiveBoundsOccupancy pins the controller's reason to exist
+// at unit scale: on the 90%-pruned model (the paper's worst-case
+// posterior flattening) the adaptive run's peak live-token occupancy
+// drops versus the static baseline, without giving up accuracy.
+func TestAdaptiveBoundsOccupancy(t *testing.T) {
+	sys := tinySystem(t)
+	static := sys.Preset(MitigationNone, 90)
+	static.RecordFrames = true
+	adaptive := adaptivePreset(sys)
+
+	sres, err := sys.Run(static, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := sys.Run(adaptive, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.PeakActive >= sres.PeakActive {
+		t.Fatalf("adaptive peak occupancy %d not below static %d", ares.PeakActive, sres.PeakActive)
+	}
+	if ares.WER > sres.WER {
+		t.Fatalf("adaptive WER %.2f worse than static %.2f", ares.WER, sres.WER)
+	}
+	if ares.Control.Tightens == 0 {
+		t.Fatalf("controller never tightened on a 90%%-pruned model: %+v", ares.Control)
+	}
+	if ares.Control.MinBeam >= adaptive.Control.MaxBeam {
+		t.Fatalf("beam never moved below MaxBeam: %+v", ares.Control)
+	}
+}
+
+// TestAdaptiveInvalidControlRejected pins that a bad controller config
+// fails the run up front with the validation error, not mid-decode.
+func TestAdaptiveInvalidControlRejected(t *testing.T) {
+	sys := tinySystem(t)
+	cfg := adaptivePreset(sys)
+	cfg.Control.TargetOccupancy = -1
+	_, err := sys.Run(cfg, sys.Scale.DNNConfig(), sys.Scale.ViterbiConfig())
+	if err == nil || !strings.Contains(err.Error(), "target_occupancy") {
+		t.Fatalf("invalid control config: got %v, want target_occupancy validation error", err)
+	}
+}
+
+// TestDefaultControlValid pins that every scale's default controller
+// configuration validates as-is.
+func TestDefaultControlValid(t *testing.T) {
+	for _, scale := range []Scale{ScaleTiny(), ScaleSmall(), ScalePaper()} {
+		cfg := scale.DefaultControl()
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: DefaultControl invalid: %v", scale.Name, err)
+		}
+		if cfg.TargetOccupancy != scale.NBestN() {
+			t.Errorf("%s: SLO %d not at the N-best bound %d", scale.Name, cfg.TargetOccupancy, scale.NBestN())
+		}
+	}
+}
+
+// TestFrameTailSecondsNearestRank pins the per-frame quantile the
+// scenario archive reports, with the same nearest-rank convention as
+// TailSeconds.
+func TestFrameTailSecondsNearestRank(t *testing.T) {
+	r := &PipelineResult{}
+	for v := 100; v >= 0; v-- { // unsorted on purpose
+		r.FrameCycles = append(r.FrameCycles, int64(v))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 0}, {0.5, 50}, {0.99, 99}, {1, 100},
+	} {
+		if got := r.FrameTailSeconds(tc.p, 1); got != tc.want {
+			t.Fatalf("FrameTailSeconds(%v, 1) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := r.FrameTailSeconds(0.99, 2); got != 49.5 {
+		t.Fatalf("hz scaling: got %v, want 49.5", got)
+	}
+	if got := (&PipelineResult{}).FrameTailSeconds(0.5, 1); got != 0 {
+		t.Fatalf("empty FrameTailSeconds = %v", got)
+	}
+	if got := r.FrameTailSeconds(0.5, 0); got != 0 {
+		t.Fatalf("zero hz FrameTailSeconds = %v", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/accel/dnnsim"
 	"repro/internal/accel/viterbisim"
+	"repro/internal/control"
 	"repro/internal/decoder"
 	"repro/internal/energy"
 	"repro/internal/obs"
@@ -141,9 +142,11 @@ func (s *System) forEachUttWorker(eng EngineConfig, fn func(worker, i int)) {
 // uttOutcome is one utterance's decode output, captured per index so
 // aggregation can replay the serial order exactly.
 type uttOutcome struct {
-	words []int
-	stats decoder.Stats
-	rep   viterbisim.Report
+	words  []int
+	stats  decoder.Stats
+	rep    viterbisim.Report
+	ctl    control.Stats // controller decisions (zero when adaptive is off)
+	cycles []int64       // per-frame store cycles (when RecordFrames)
 }
 
 // RunEngine decodes the whole test set under cfg with both accelerator
@@ -159,6 +162,11 @@ func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg vite
 	}
 	if cfg.Mitigation == MitigationNBest {
 		vitCfg.NBestTable = true
+	}
+	if cfg.Control != nil {
+		if err := cfg.Control.Validate(); err != nil {
+			return nil, err
+		}
 	}
 
 	dnnReport, err := dnnsim.Analyze(net, dnnCfg)
@@ -179,11 +187,20 @@ func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg vite
 	s.forEachUttWorker(eng, func(w, i int) {
 		sim := viterbisim.New(vitCfg)
 		dcfg := decoder.Config{
-			Beam:          cfg.Beam,
-			AcousticScale: 1,
-			NewStore:      cfg.storeFactory(),
-			Probe:         sim,
-			HeapAlloc:     eng.HeapAlloc,
+			Beam:           cfg.Beam,
+			AcousticScale:  1,
+			NewStore:       cfg.storeFactory(),
+			Probe:          sim,
+			HeapAlloc:      eng.HeapAlloc,
+			RecordPerFrame: cfg.RecordFrames,
+		}
+		// One controller per utterance, like the viterbisim instance:
+		// the decode decision stream depends only on (config, scores),
+		// never on which worker or how warmed a session ran it.
+		var ctl *control.Controller
+		if cfg.Control != nil {
+			ctl, _ = control.New(*cfg.Control) // validated above
+			dcfg.Policy = ctl
 		}
 		ses := sessions[w]
 		if ses == nil {
@@ -202,7 +219,17 @@ func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg vite
 			}
 		}
 		r := ses.Finish()
-		outcomes[i] = uttOutcome{words: r.Words, stats: r.Stats, rep: sim.Finish(r.Stats)}
+		o := uttOutcome{words: r.Words, stats: r.Stats, rep: sim.Finish(r.Stats)}
+		if ctl != nil {
+			o.ctl = ctl.Stats()
+		}
+		if cfg.RecordFrames {
+			o.cycles = make([]int64, len(r.Frames))
+			for t, fa := range r.Frames {
+				o.cycles[t] = fa.StoreCycles
+			}
+		}
+		outcomes[i] = o
 	})
 
 	// Index-ordered aggregation: same floating-point summation order as
@@ -219,8 +246,13 @@ func (s *System) RunEngine(cfg PipelineConfig, dnnCfg dnnsim.Config, vitCfg vite
 		res.Frames += o.stats.Frames
 		res.Explored += o.stats.Hypotheses
 		res.MeanActive += o.stats.MeanActive()
+		if o.stats.MaxActive > res.PeakActive {
+			res.PeakActive = o.stats.MaxActive
+		}
 		res.Overflows += o.stats.Store.Overflows
 		res.Collisions += o.stats.Store.Collisions
+		res.Control.add(o.ctl)
+		res.FrameCycles = append(res.FrameCycles, o.cycles...)
 	}
 	if len(s.TestSet) > 0 {
 		res.MeanActive /= float64(len(s.TestSet))

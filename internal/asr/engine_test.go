@@ -42,6 +42,23 @@ func requireIdenticalResults(t *testing.T, serial, parallel *PipelineResult) {
 				serial.Config.Name, i, parallel.UttSeconds[i], serial.UttSeconds[i])
 		}
 	}
+	if serial.PeakActive != parallel.PeakActive {
+		t.Fatalf("%s: peak active %d != %d", serial.Config.Name, parallel.PeakActive, serial.PeakActive)
+	}
+	if serial.Control != parallel.Control {
+		t.Fatalf("%s: controller summary diverged: %+v != %+v",
+			serial.Config.Name, parallel.Control, serial.Control)
+	}
+	if len(serial.FrameCycles) != len(parallel.FrameCycles) {
+		t.Fatalf("%s: FrameCycles length %d != %d", serial.Config.Name,
+			len(parallel.FrameCycles), len(serial.FrameCycles))
+	}
+	for i := range serial.FrameCycles {
+		if serial.FrameCycles[i] != parallel.FrameCycles[i] {
+			t.Fatalf("%s: frame %d cycles %d != %d (order must be preserved)",
+				serial.Config.Name, i, parallel.FrameCycles[i], serial.FrameCycles[i])
+		}
+	}
 }
 
 // TestParallelRunMatchesSerial pins the engine's core guarantee:

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel/dnnsim"
 	"repro/internal/accel/viterbisim"
+	"repro/internal/control"
 	"repro/internal/decoder"
 )
 
@@ -48,6 +49,14 @@ type PipelineConfig struct {
 	// UNFOLD table geometry for Baseline/Beam configs (0 = published
 	// 32K/16K geometry).
 	DirectEntries, BackupEntries int
+	// Control, when non-nil, decodes every utterance under the adaptive
+	// beam controller (internal/control); the controller's beam/K
+	// replace Beam per frame. Nil is the static configuration.
+	Control *control.Config
+	// RecordFrames retains per-frame modelled store cycles in
+	// PipelineResult.FrameCycles — the scenario archive's frame-latency
+	// source (deterministic, unlike wall-clock).
+	RecordFrames bool
 }
 
 // DefaultBeam is the Kaldi-default beam of the Baseline and NBest
@@ -141,8 +150,17 @@ type PipelineResult struct {
 	Explored         int64
 	ExploredPerFrame float64
 	MeanActive       float64
+	PeakActive       int // worst per-frame live-token occupancy across the test set
 	Overflows        int64
 	Collisions       int64
+
+	// adaptive controller decisions (zero when Config.Control is nil)
+	Control ControlSummary
+
+	// FrameCycles holds each frame's modelled store cycles in test-set
+	// order when Config.RecordFrames is set; FrameTailSeconds derives
+	// the per-frame latency quantiles from it.
+	FrameCycles []int64
 
 	// timing (seconds over the whole test set)
 	DNNSeconds     float64
@@ -183,6 +201,28 @@ func (r *PipelineResult) TailSeconds(p float64) float64 {
 		idx = len(s) - 1
 	}
 	return s[idx]
+}
+
+// FrameTailSeconds reports the p-quantile (0..1) of per-frame modelled
+// search latency — each frame's store cycles at the accelerator clock
+// hz — over the whole test set. It needs Config.RecordFrames; without
+// records it reports 0. Like TailSeconds the quantile is nearest-rank,
+// and being derived from modelled cycles it is bit-reproducible where
+// wall-clock percentiles are not.
+func (r *PipelineResult) FrameTailSeconds(p, hz float64) float64 {
+	if len(r.FrameCycles) == 0 || hz <= 0 {
+		return 0
+	}
+	s := append([]int64(nil), r.FrameCycles...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Round(p * float64(len(s)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx]) / hz
 }
 
 // storeFactory builds the decoder hypothesis store for a config.

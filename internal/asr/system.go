@@ -203,6 +203,38 @@ func (s *System) Quality(level int) (top1, top5, confidence float64) {
 	return top1, top5, confidence
 }
 
+// Derive returns a System that decodes a different world with this
+// one's trained models: the graph is recompiled for the given world,
+// the test set replaces the parent's, and the score/quality caches
+// start empty. Training is the expensive step, so this is what lets a
+// scenario sweep vary the evaluation world — noise, utterance length,
+// even vocabulary size — without rebuilding. Vocabulary variants are
+// sound because speech.NewWorld draws the senone emission means
+// before consuming any vocabulary-dependent randomness (pinned by
+// TestVocabChangePreservesMeans in internal/speech), so a world that
+// differs only in Vocab has identical senones and the parent's models
+// score its frames correctly. The derived system shares the parent's
+// model networks: run derived systems one at a time — Quality reuses
+// per-network scratch that only each system's own lock serializes.
+func (s *System) Derive(world *speech.World, testSet []*speech.Utterance) *System {
+	g := wfst.Compile(world)
+	return &System{
+		Scale:        s.Scale,
+		World:        world,
+		Graph:        g,
+		Decoder:      decoder.New(g),
+		Topology:     s.Topology,
+		Engine:       s.Engine,
+		Models:       s.Models,
+		PruneReports: s.PruneReports,
+		TrainSamples: s.TrainSamples,
+		TestSet:      testSet,
+		TestSamples:  speech.TrainingSamples(testSet, s.Scale.Context),
+		scores:       map[int][][][]float64{},
+		quality:      map[int][3]float64{},
+	}
+}
+
 // TotalTestFrames reports the number of acoustic frames in the test
 // set (the per-frame DNN cost multiplier).
 func (s *System) TotalTestFrames() int {

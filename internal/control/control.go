@@ -1,0 +1,272 @@
+// Package control implements the confidence-aware adaptive beam
+// controller — the runtime defense against the paper's dark side.
+// Pruning flattens the acoustic model's posteriors, flat posteriors
+// leave more hypotheses inside the Viterbi beam, and the search
+// workload explodes (~3.1x at 90% pruning). The repo's static answer
+// is the N-best store bound; this package adds the dynamic one: a
+// per-session Controller that reads each frame's top-1 posterior (a
+// confidence signal the DNN has effectively already computed) and the
+// live-token occupancy entering the frame, and adapts the beam width
+// and the max-active (N-best K) cap frame by frame under an explicit
+// occupancy SLO.
+//
+// The control law is pure and reproducible by construction: it is a
+// deterministic function of (Config, controller state, frame inputs)
+// with hysteresis bands and bounded step sizes, no wall-clock reads,
+// and no randomness, so an adaptive decode is bit-identical run to
+// run and across serial/parallel engines (pinned by tests in
+// internal/asr). docs/ADAPTIVE.md is the normative specification,
+// including the tuning guide and a worked scenario read-through.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/decoder"
+)
+
+// Config parameterizes the control law. The zero value is invalid;
+// the required fields are TargetOccupancy, MinBeam, and MaxBeam, and
+// everything else has workable defaults (see fillDefaults). The JSON
+// tags are the wire form the serving handshake's "control" field uses
+// (docs/SERVING.md).
+type Config struct {
+	// TargetOccupancy is the occupancy SLO: the live-token count per
+	// frame the controller steers toward. Per-frame search latency is
+	// proportional to the tokens expanded (each fans out over its
+	// state's arcs into store insertions), so bounding occupancy
+	// bounds the modelled frame latency the scenario archive reports.
+	// A frame entering with more live tokens than this counts one SLO
+	// violation. Required, > 0.
+	TargetOccupancy int `json:"target_occupancy"`
+
+	// HighWater and LowWater define the hysteresis band as fractions
+	// of TargetOccupancy: above TargetOccupancy*HighWater the
+	// controller tightens, below TargetOccupancy*LowWater (with
+	// healthy confidence) it relaxes, and in between it holds — the
+	// dead band that keeps the beam from oscillating on workload
+	// noise. Defaults 1.0 and 0.5; 0 < LowWater <= HighWater.
+	HighWater float64 `json:"high_water,omitempty"`
+	LowWater  float64 `json:"low_water,omitempty"`
+
+	// MinBeam and MaxBeam clamp the adaptive beam (in -log space,
+	// like decoder.Config.Beam). The controller starts at MaxBeam —
+	// behaviourally the static beam — and only departs under
+	// pressure. Required, 0 < MinBeam <= MaxBeam.
+	MinBeam float64 `json:"min_beam"`
+	MaxBeam float64 `json:"max_beam"`
+
+	// BeamStep bounds how far the beam moves per frame (hysteresis'
+	// companion: small bounded steps, never a jump to the bound).
+	// Default (MaxBeam-MinBeam)/8.
+	BeamStep float64 `json:"beam_step,omitempty"`
+
+	// LowConfidence is the top-1 posterior below which the controller
+	// tightens pre-emptively, before occupancy blows up — the
+	// confidence-aware half of the law. A flat frame (the pruned-model
+	// signature the paper measures in Figures 1 and 3) predicts the
+	// fan-out one frame ahead of the occupancy signal. 0 disables the
+	// confidence trigger; must stay within [0, 1).
+	LowConfidence float64 `json:"low_confidence,omitempty"`
+
+	// MinK and MaxK bound the adaptive max-active cap (the N-best K:
+	// histogram pruning to the K cheapest tokens, the software
+	// equivalent of the paper's N-best table bound). MaxK == 0
+	// disables K adaptation and the controller returns maxActive 0
+	// (uncapped). Otherwise 0 < MinK <= MaxK.
+	MinK int `json:"min_k,omitempty"`
+	MaxK int `json:"max_k,omitempty"`
+
+	// KStep bounds the per-frame K movement. Default
+	// max(1, (MaxK-MinK)/8).
+	KStep int `json:"k_step,omitempty"`
+}
+
+// Validate reports the first way cfg is unusable. It does not fill
+// defaults; New does both.
+func (c Config) Validate() error {
+	switch {
+	case c.TargetOccupancy <= 0:
+		return fmt.Errorf("control: target_occupancy must be > 0, got %d", c.TargetOccupancy)
+	case c.MinBeam <= 0:
+		return fmt.Errorf("control: min_beam must be > 0, got %g", c.MinBeam)
+	case c.MaxBeam < c.MinBeam:
+		return fmt.Errorf("control: max_beam %g below min_beam %g", c.MaxBeam, c.MinBeam)
+	case c.BeamStep < 0:
+		return fmt.Errorf("control: beam_step must be >= 0, got %g", c.BeamStep)
+	case c.HighWater < 0 || c.LowWater < 0:
+		return fmt.Errorf("control: watermarks must be >= 0, got low %g high %g", c.LowWater, c.HighWater)
+	case c.HighWater > 0 && c.LowWater > c.HighWater:
+		return fmt.Errorf("control: low_water %g above high_water %g", c.LowWater, c.HighWater)
+	case c.LowConfidence < 0 || c.LowConfidence >= 1:
+		return fmt.Errorf("control: low_confidence %g outside [0, 1)", c.LowConfidence)
+	case c.MinK < 0 || c.MaxK < 0 || c.KStep < 0:
+		return fmt.Errorf("control: k bounds must be >= 0, got min %d max %d step %d", c.MinK, c.MaxK, c.KStep)
+	case c.MaxK > 0 && c.MinK > c.MaxK:
+		return fmt.Errorf("control: min_k %d above max_k %d", c.MinK, c.MaxK)
+	}
+	return nil
+}
+
+// fillDefaults resolves the optional fields in place.
+func (c *Config) fillDefaults() {
+	if c.HighWater == 0 {
+		c.HighWater = 1.0
+	}
+	if c.LowWater == 0 {
+		c.LowWater = 0.5
+	}
+	if c.BeamStep == 0 {
+		c.BeamStep = (c.MaxBeam - c.MinBeam) / 8
+	}
+	if c.MaxK > 0 {
+		if c.MinK == 0 {
+			c.MinK = c.MaxK
+		}
+		if c.KStep == 0 {
+			if c.KStep = (c.MaxK - c.MinK) / 8; c.KStep < 1 {
+				c.KStep = 1
+			}
+		}
+	}
+}
+
+// Stats is the controller's own account of one decode, reported by
+// the scenario archive next to the decoder's workload stats. All
+// counts are per session (Reset zeroes them).
+type Stats struct {
+	Frames        int     // frames the controller decided
+	Tightens      int     // frames that stepped the beam/K down
+	Relaxes       int     // frames that stepped the beam/K up
+	Clamps        int     // steps truncated at a Min/Max bound
+	SLOViolations int     // frames entering above TargetOccupancy
+	BeamSum       float64 // sum of applied beams (for the mean)
+	MinBeamSeen   float64 // tightest beam applied
+}
+
+// MeanBeam reports the average applied beam width.
+func (s Stats) MeanBeam() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return s.BeamSum / float64(s.Frames)
+}
+
+// Controller holds the adaptive state of one decode session. It
+// implements decoder.BeamPolicy: the session calls FrameParams at
+// every frame start and Reset at Start/Restart. A Controller is owned
+// by one session and is not safe for concurrent use; create one per
+// decode (they are two words of state plus counters).
+type Controller struct {
+	cfg   Config
+	beam  float64
+	k     int
+	stats Stats
+}
+
+// compile-time: Controller is a decoder.BeamPolicy.
+var _ decoder.BeamPolicy = (*Controller)(nil)
+
+// New validates cfg, fills its optional fields, and returns a
+// controller in the initial (fully relaxed) state.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	c := &Controller{cfg: cfg}
+	c.Reset()
+	return c, nil
+}
+
+// Config returns the resolved configuration (defaults filled).
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns the counters accumulated since the last Reset.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Reset restores the initial state: beam at MaxBeam, K at MaxK —
+// behaviourally the static configuration until pressure appears. The
+// decoder calls it at session Start and Restart, so a pooled session
+// recycled across utterances decides every utterance from the same
+// state (the determinism tests rely on this).
+func (c *Controller) Reset() {
+	c.beam = c.cfg.MaxBeam
+	c.k = c.cfg.MaxK
+	c.stats = Stats{MinBeamSeen: c.cfg.MaxBeam}
+}
+
+// FrameParams applies the control law to one frame and returns the
+// beam width and max-active cap the search should use for it.
+//
+// Inputs: top1 is the frame's best acoustic log-posterior (<= 0; its
+// exp is the top-1 posterior, the confidence the paper tracks), and
+// live is the number of tokens entering the frame. The law:
+//
+//  1. pressure — occupancy above the high watermark, or confidence
+//     under LowConfidence — steps beam and K down by one bounded step;
+//  2. relief — occupancy under the low watermark with confidence at
+//     or above LowConfidence — steps them back up;
+//  3. anything in between holds (the hysteresis dead band);
+//  4. every step clamps to [MinBeam, MaxBeam] and [MinK, MaxK], and a
+//     truncated step counts one clamp event;
+//  5. a frame entering above TargetOccupancy counts one SLO violation
+//     (the controller is already reacting; the counter is the audit).
+//
+// The decision reads no clock and no randomness — it is a pure
+// function of (Config, state, inputs) — so adaptive decodes stay
+// bit-reproducible.
+func (c *Controller) FrameParams(top1 float64, live int) (beam float64, maxActive int) {
+	cfg := &c.cfg
+	conf := math.Exp(top1)
+	occ := float64(live)
+	target := float64(cfg.TargetOccupancy)
+
+	if live > cfg.TargetOccupancy {
+		c.stats.SLOViolations++
+		obsSLOViolations.Inc()
+	}
+
+	pressure := occ > target*cfg.HighWater || (cfg.LowConfidence > 0 && conf < cfg.LowConfidence)
+	relief := !pressure && occ < target*cfg.LowWater && (cfg.LowConfidence == 0 || conf >= cfg.LowConfidence)
+
+	switch {
+	case pressure:
+		c.stats.Tightens++
+		obsTightens.Inc()
+		if c.beam -= cfg.BeamStep; c.beam < cfg.MinBeam {
+			c.beam = cfg.MinBeam
+			c.stats.Clamps++
+			obsClamps.Inc()
+		}
+		if cfg.MaxK > 0 {
+			if c.k -= cfg.KStep; c.k < cfg.MinK {
+				c.k = cfg.MinK
+			}
+		}
+	case relief:
+		c.stats.Relaxes++
+		obsRelaxes.Inc()
+		if c.beam += cfg.BeamStep; c.beam > cfg.MaxBeam {
+			c.beam = cfg.MaxBeam
+			c.stats.Clamps++
+			obsClamps.Inc()
+		}
+		if cfg.MaxK > 0 {
+			if c.k += cfg.KStep; c.k > cfg.MaxK {
+				c.k = cfg.MaxK
+			}
+		}
+	}
+
+	c.stats.Frames++
+	c.stats.BeamSum += c.beam
+	if c.beam < c.stats.MinBeamSeen {
+		c.stats.MinBeamSeen = c.beam
+	}
+	obsFrames.Inc()
+	obsBeamWidth.Set(c.beam)
+	obsBeamDist.Observe(c.beam)
+	return c.beam, c.k
+}

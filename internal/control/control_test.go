@@ -1,0 +1,212 @@
+package control
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// base is a config with an 8-frame-wide beam range and K adaptation on.
+func base() Config {
+	return Config{
+		TargetOccupancy: 100,
+		MinBeam:         8,
+		MaxBeam:         16,
+		BeamStep:        1,
+		LowConfidence:   0.3,
+		MinK:            32,
+		MaxK:            128,
+		KStep:           16,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the error; "" means valid
+	}{
+		{"valid", func(c *Config) {}, ""},
+		{"zero target", func(c *Config) { c.TargetOccupancy = 0 }, "target_occupancy"},
+		{"zero min beam", func(c *Config) { c.MinBeam = 0 }, "min_beam"},
+		{"inverted beams", func(c *Config) { c.MaxBeam = c.MinBeam - 1 }, "max_beam"},
+		{"negative step", func(c *Config) { c.BeamStep = -1 }, "beam_step"},
+		{"negative watermark", func(c *Config) { c.LowWater = -0.1 }, "watermarks"},
+		{"inverted watermarks", func(c *Config) { c.LowWater = 2; c.HighWater = 1 }, "low_water"},
+		{"confidence too high", func(c *Config) { c.LowConfidence = 1 }, "low_confidence"},
+		{"negative k", func(c *Config) { c.MinK = -1 }, "k bounds"},
+		{"inverted k", func(c *Config) { c.MinK = 200 }, "min_k"},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c, err := New(Config{TargetOccupancy: 50, MinBeam: 8, MaxBeam: 16, MaxK: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.HighWater != 1.0 || cfg.LowWater != 0.5 {
+		t.Fatalf("watermark defaults = (%g, %g), want (1, 0.5)", cfg.LowWater, cfg.HighWater)
+	}
+	if cfg.BeamStep != 1 { // (16-8)/8
+		t.Fatalf("beam step default = %g, want 1", cfg.BeamStep)
+	}
+	if cfg.MinK != 64 || cfg.KStep != 1 {
+		t.Fatalf("k defaults = (min %d, step %d), want (64, 1)", cfg.MinK, cfg.KStep)
+	}
+}
+
+// quiet is a top-1 log-posterior well above any confidence floor.
+const quiet = -0.01 // exp ≈ 0.99
+
+// flat is a top-1 log-posterior signalling a flattened frame.
+var flat = math.Log(0.05)
+
+func TestHysteresis(t *testing.T) {
+	c, err := New(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dead band: occupancy between watermarks, healthy confidence →
+	// hold at the initial (relaxed) state.
+	beam, k := c.FrameParams(quiet, 80)
+	if beam != 16 || k != 128 {
+		t.Fatalf("dead band moved to (%g, %d), want (16, 128)", beam, k)
+	}
+
+	// Pressure by occupancy: one bounded step down.
+	beam, k = c.FrameParams(quiet, 150)
+	if beam != 15 || k != 112 {
+		t.Fatalf("pressure step = (%g, %d), want (15, 112)", beam, k)
+	}
+
+	// Pressure by confidence alone, occupancy fine: still tightens.
+	beam, k = c.FrameParams(flat, 60)
+	if beam != 14 || k != 96 {
+		t.Fatalf("confidence step = (%g, %d), want (14, 96)", beam, k)
+	}
+
+	// Relief: under the low watermark with healthy confidence.
+	beam, k = c.FrameParams(quiet, 40)
+	if beam != 15 || k != 112 {
+		t.Fatalf("relief step = (%g, %d), want (15, 112)", beam, k)
+	}
+
+	// Low occupancy but shaky confidence: hold, not relax.
+	beam, k = c.FrameParams(flat, 10)
+	if beam != 14 || k != 96 {
+		t.Fatalf("shaky relief = (%g, %d), want tighten to (14, 96)", beam, k)
+	}
+
+	st := c.Stats()
+	if st.Frames != 5 || st.Tightens != 3 || st.Relaxes != 1 {
+		t.Fatalf("stats = %+v, want 5 frames, 3 tightens, 1 relax", st)
+	}
+}
+
+func TestClampsAndSLO(t *testing.T) {
+	cfg := base()
+	cfg.BeamStep = 3
+	cfg.KStep = 64
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sustained pressure drives both to their floors and keeps
+	// clamping there.
+	for i := 0; i < 6; i++ {
+		c.FrameParams(flat, 500)
+	}
+	beam, k := c.FrameParams(flat, 500)
+	if beam != cfg.MinBeam || k != cfg.MinK {
+		t.Fatalf("floor = (%g, %d), want (%g, %d)", beam, k, cfg.MinBeam, cfg.MinK)
+	}
+	st := c.Stats()
+	if st.Clamps == 0 {
+		t.Fatalf("no clamp events recorded at the floor")
+	}
+	if st.SLOViolations != 7 {
+		t.Fatalf("SLO violations = %d, want 7 (every frame above target)", st.SLOViolations)
+	}
+	if st.MinBeamSeen != cfg.MinBeam {
+		t.Fatalf("MinBeamSeen = %g, want %g", st.MinBeamSeen, cfg.MinBeam)
+	}
+
+	// Sustained relief walks back to the ceiling and clamps there.
+	for i := 0; i < 8; i++ {
+		c.FrameParams(quiet, 1)
+	}
+	beam, k = c.FrameParams(quiet, 1)
+	if beam != cfg.MaxBeam || k != cfg.MaxK {
+		t.Fatalf("ceiling = (%g, %d), want (%g, %d)", beam, k, cfg.MaxBeam, cfg.MaxK)
+	}
+}
+
+func TestKAdaptationDisabled(t *testing.T) {
+	cfg := base()
+	cfg.MinK, cfg.MaxK, cfg.KStep = 0, 0, 0
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, live := range []int{500, 10, 80} {
+		if _, k := c.FrameParams(quiet, live); k != 0 {
+			t.Fatalf("disabled K adaptation returned maxActive %d, want 0", k)
+		}
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	c, err := New(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func() []float64 {
+		var out []float64
+		for i := 0; i < 12; i++ {
+			live := 30 + 47*i%300
+			beam, _ := c.FrameParams(flat, live)
+			out = append(out, beam)
+		}
+		return out
+	}
+	first := trace()
+	c.Reset()
+	if st := c.Stats(); st.Frames != 0 || st.MinBeamSeen != c.Config().MaxBeam {
+		t.Fatalf("Reset left stats %+v", st)
+	}
+	second := trace()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("frame %d: %g after reset vs %g fresh — controller not deterministic across Reset",
+				i, second[i], first[i])
+		}
+	}
+}
+
+func TestMeanBeam(t *testing.T) {
+	var s Stats
+	if s.MeanBeam() != 0 {
+		t.Fatalf("zero-frame mean = %g, want 0", s.MeanBeam())
+	}
+	s = Stats{Frames: 4, BeamSum: 50}
+	if s.MeanBeam() != 12.5 {
+		t.Fatalf("mean = %g, want 12.5", s.MeanBeam())
+	}
+}

@@ -1,0 +1,25 @@
+package control
+
+import "repro/internal/obs"
+
+// Controller metrics (docs/OBSERVABILITY.md catalogues them). They
+// observe the control law's decisions and never feed back into it —
+// every value below is derived from state the controller already
+// holds, so observation stays off the determinism path exactly as in
+// the decoder.
+var (
+	obsFrames = obs.NewCounter("control.frames", "frames",
+		"frames decided by an adaptive beam controller")
+	obsBeamWidth = obs.NewGauge("control.beam_width", "logspace",
+		"beam width applied to the most recent adaptive frame")
+	obsBeamDist = obs.NewHistogram("control.beam_width_dist", "logspace",
+		"distribution of applied adaptive beam widths", obs.CountBuckets(32))
+	obsTightens = obs.NewCounter("control.tightens", "steps",
+		"adaptation steps down (occupancy over the high watermark or confidence under the floor)")
+	obsRelaxes = obs.NewCounter("control.relaxes", "steps",
+		"adaptation steps up (occupancy under the low watermark with healthy confidence)")
+	obsClamps = obs.NewCounter("control.clamps", "events",
+		"adaptation steps truncated at the min/max beam bound")
+	obsSLOViolations = obs.NewCounter("control.slo_violations", "frames",
+		"frames entering the search above the occupancy SLO target")
+)

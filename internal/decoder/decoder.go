@@ -79,6 +79,11 @@ type Config struct {
 	// pruning. It needs the partial sort the paper's hardware design
 	// avoids; it is provided as the software comparison point.
 	MaxActive int
+	// Policy, if non-nil, adapts the beam width and max-active cap per
+	// frame (see BeamPolicy in policy.go and internal/control). The
+	// frame's parameters replace Beam and MaxActive for that frame
+	// only; nil keeps the static configuration at zero overhead.
+	Policy BeamPolicy
 	// RecordPerFrame retains per-frame activity in Result.Frames.
 	RecordPerFrame bool
 	// Probe, if non-nil, observes memory traffic for simulators.
@@ -100,11 +105,12 @@ func DefaultConfig() Config {
 
 // FrameActivity is the per-frame workload record.
 type FrameActivity struct {
-	Active      int   // tokens alive at frame start (after pruning)
-	EpsArcs     int   // epsilon arcs relaxed
-	EmitArcs    int   // emitting arcs evaluated (paper's "hypotheses explored")
-	Inserts     int   // insert attempts into the next-frame store
-	StoreCycles int64 // modelled store access cycles this frame
+	Active      int     // tokens alive at frame start (after pruning)
+	EpsArcs     int     // epsilon arcs relaxed
+	EmitArcs    int     // emitting arcs evaluated (paper's "hypotheses explored")
+	Inserts     int     // insert attempts into the next-frame store
+	StoreCycles int64   // modelled store access cycles this frame
+	Beam        float64 // beam width applied this frame (adaptive or static)
 }
 
 // Stats summarizes a decode.

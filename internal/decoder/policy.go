@@ -1,0 +1,37 @@
+package decoder
+
+// BeamPolicy adapts the search's pruning parameters frame by frame.
+// When Config.Policy is non-nil, the session consults it at the start
+// of every PushFrame — after computing the frame's best acoustic
+// log-posterior (top1, <= 0; exp(top1) is the top-1 posterior the
+// paper tracks as confidence) and before any arc is expanded — and
+// uses the returned beam width and max-active cap for that frame in
+// place of Config.Beam and Config.MaxActive. A nil Policy is the
+// static path, byte-for-byte unchanged (pinned by
+// TestSessionStaticPolicyBitIdentical).
+//
+// Contract:
+//
+//   - A policy belongs to exactly one Session (sessions are
+//     single-goroutine; see the ownership notes on Session). Create
+//     one per decode.
+//   - FrameParams must be deterministic: a pure function of the
+//     policy's own state and its inputs, with no clock or randomness,
+//     so decodes stay bit-reproducible (the engine and serve layers
+//     pin this under -race).
+//   - Reset is called by Start and Restart before the first frame;
+//     it must restore the initial state so a pooled session recycled
+//     across utterances decides every utterance identically.
+//
+// internal/control implements the confidence-aware hysteresis
+// controller; docs/ADAPTIVE.md specifies its law.
+type BeamPolicy interface {
+	// Reset restores the policy's initial state (called at session
+	// Start and Restart).
+	Reset()
+	// FrameParams returns the beam width (<= 0 disables beam pruning)
+	// and max-active cap (<= 0 uncapped) for the next frame, given the
+	// frame's top-1 acoustic log-posterior and the live-token count
+	// entering the frame.
+	FrameParams(top1 float64, live int) (beam float64, maxActive int)
+}

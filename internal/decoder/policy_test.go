@@ -1,0 +1,159 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// echoPolicy returns fixed parameters every frame and counts the
+// lifecycle calls the session makes.
+type echoPolicy struct {
+	beam      float64
+	maxActive int
+	resets    int
+	frames    int
+	lastTop1  float64
+	lastLive  int
+}
+
+func (p *echoPolicy) Reset() { p.resets++ }
+
+func (p *echoPolicy) FrameParams(top1 float64, live int) (float64, int) {
+	p.frames++
+	p.lastTop1 = top1
+	p.lastLive = live
+	return p.beam, p.maxActive
+}
+
+// TestSessionStaticPolicyBitIdentical pins the BeamPolicy hook's
+// compatibility contract both ways: a nil Policy is the unchanged
+// static path, and a policy that echoes the static parameters every
+// frame produces a bit-identical Result — words, cost, stats, and
+// store counters included.
+func TestSessionStaticPolicyBitIdentical(t *testing.T) {
+	world, graph := sessionWorld(t)
+	d := New(graph)
+	rng := mat.NewRNG(47)
+
+	for _, static := range []Config{
+		{Beam: 15, AcousticScale: 1},
+		{Beam: 15, AcousticScale: 1, MaxActive: 16},
+		{Beam: 15, AcousticScale: 1, NewStore: SetAssocStore(8, 4)},
+	} {
+		scores := randomScores(world, rng, 14)
+		want := d.Decode(scores, static)
+
+		adaptive := static
+		adaptive.Policy = &echoPolicy{beam: static.Beam, maxActive: static.MaxActive}
+		got := d.Decode(scores, adaptive)
+		requireSameResult(t, want, got)
+	}
+}
+
+// TestSessionPolicyLifecycle pins the hook's calling convention: Reset
+// at Start, FrameParams once per frame with the frame's true top-1
+// log-posterior and the live count entering the frame, and the applied
+// beam recorded in FrameActivity.
+func TestSessionPolicyLifecycle(t *testing.T) {
+	world, graph := sessionWorld(t)
+	d := New(graph)
+	rng := mat.NewRNG(48)
+	scores := randomScores(world, rng, 6)
+
+	pol := &echoPolicy{beam: 11.5, maxActive: 12}
+	cfg := Config{Beam: 15, AcousticScale: 1, Policy: pol, RecordPerFrame: true}
+	res := d.Decode(scores, cfg)
+
+	if pol.resets != 1 {
+		t.Fatalf("Reset called %d times, want 1", pol.resets)
+	}
+	if pol.frames != res.Stats.Frames {
+		t.Fatalf("FrameParams called %d times for %d frames", pol.frames, res.Stats.Frames)
+	}
+	last := scores[len(scores)-1]
+	top1 := math.Inf(-1)
+	for _, v := range last {
+		if v > top1 {
+			top1 = v
+		}
+	}
+	if pol.lastTop1 != top1 {
+		t.Fatalf("last top1 seen %v, want %v", pol.lastTop1, top1)
+	}
+	if pol.lastLive <= 0 {
+		t.Fatalf("last live count %d, want > 0", pol.lastLive)
+	}
+	for i, fa := range res.Frames {
+		if fa.Beam != pol.beam {
+			t.Fatalf("frame %d recorded beam %v, want %v", i, fa.Beam, pol.beam)
+		}
+	}
+
+	// The static path records the configured beam.
+	res = d.Decode(scores, Config{Beam: 15, AcousticScale: 1, RecordPerFrame: true})
+	for i, fa := range res.Frames {
+		if fa.Beam != 15 {
+			t.Fatalf("static frame %d recorded beam %v, want 15", i, fa.Beam)
+		}
+	}
+}
+
+// TestSessionPolicyRestartResets pins the pooling contract: a session
+// restarted with a policy resets it, and a Restart-ed adaptive decode
+// is bit-identical to a fresh Start with the same policy state.
+func TestSessionPolicyRestartResets(t *testing.T) {
+	world, graph := sessionWorld(t)
+	d := New(graph)
+	rng := mat.NewRNG(49)
+	a := randomScores(world, rng, 10)
+	b := randomScores(world, rng, 12)
+
+	mk := func() Config {
+		return Config{Beam: 15, AcousticScale: 1, Policy: &echoPolicy{beam: 12, maxActive: 20}}
+	}
+
+	fresh := d.Decode(b, mk())
+
+	cfg := mk()
+	s := d.Start(cfg)
+	for _, f := range a {
+		if err := s.PushFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Finish()
+	if err := s.Restart(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Policy.(*echoPolicy).resets; got != 2 {
+		t.Fatalf("resets after Start+Restart = %d, want 2", got)
+	}
+	for _, f := range b {
+		if err := s.PushFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameResult(t, fresh, s.Finish())
+}
+
+// TestSessionPolicyTightensWork pins that a policy that actually
+// tightens the beam reduces the search workload relative to the static
+// configuration it adapts from.
+func TestSessionPolicyTightensWork(t *testing.T) {
+	world, graph := sessionWorld(t)
+	d := New(graph)
+	rng := mat.NewRNG(50)
+	scores := randomScores(world, rng, 16)
+
+	static := d.Decode(scores, Config{Beam: 15, AcousticScale: 1})
+	tight := d.Decode(scores, Config{Beam: 15, AcousticScale: 1, Policy: &echoPolicy{beam: 4, maxActive: 6}})
+	if tight.Stats.ArcsEvaluated >= static.Stats.ArcsEvaluated {
+		t.Fatalf("tight policy evaluated %d arcs, static %d — expected a reduction",
+			tight.Stats.ArcsEvaluated, static.Stats.ArcsEvaluated)
+	}
+	if tight.Stats.MaxActive > static.Stats.MaxActive {
+		t.Fatalf("tight policy peak active %d above static %d", tight.Stats.MaxActive, static.Stats.MaxActive)
+	}
+}

@@ -138,8 +138,13 @@ func (s *Session) Restart(cfg Config) error {
 // seed places the initial zero-cost token at the graph's start state.
 // In pooled mode the token comes from arena 1: frame 0 rewinds arena
 // 0, and the seed — dead once frame 0's harvest replaces the map — is
-// reclaimed by frame 1's rewind, exactly like a frame -1 token.
+// reclaimed by frame 1's rewind, exactly like a frame -1 token. An
+// adaptive policy is reset here so Start and Restart both begin the
+// utterance from the policy's initial state.
 func (s *Session) seed() {
+	if s.cfg.Policy != nil {
+		s.cfg.Policy.Reset()
+	}
 	var tok *Token
 	if s.cfg.HeapAlloc {
 		s.cur = newTokenMap(1)
@@ -182,8 +187,24 @@ func (s *Session) PushFrame(frame []float64) error {
 		// frame t-1's harvest replaced the live map.
 		s.recycled += s.tokens[par].rewind()
 	}
+	// Frame pruning parameters: static from the config, or decided by
+	// the adaptive policy from the frame's top-1 log-posterior and the
+	// occupancy entering the frame. The top-1 scan is one pass over
+	// the score vector, orders of magnitude under the arc expansion it
+	// governs, and is skipped entirely on the static path.
+	beam, maxActive := s.cfg.Beam, s.cfg.MaxActive
+	if s.cfg.Policy != nil {
+		top1 := math.Inf(-1)
+		for _, v := range frame {
+			if v > top1 {
+				top1 = v
+			}
+		}
+		beam, maxActive = s.cfg.Policy.FrameParams(top1, s.cur.len())
+	}
+	fa.Beam = beam
 	s.closure(s.cur, &fa, pooled, par)
-	s.expand(frame, &fa, pooled, par)
+	s.expand(frame, &fa, pooled, par, beam, maxActive)
 
 	// Harvest the store into the next frame's token map, in the
 	// store's own (deterministic) readout order.
@@ -380,12 +401,13 @@ func (s *Session) closure(m *tokenMap, fa *FrameActivity, pooled bool, par int) 
 }
 
 // expand applies beam/max-active limits and expands emitting arcs of
-// every surviving token into the store. In pooled mode each candidate
-// token comes from the frame-parity arena; a candidate the store
-// rejects outright is handed straight back (freeLast), so rejection
-// storms — the very workload explosion the paper studies — do not
-// grow the arena.
-func (s *Session) expand(frame []float64, fa *FrameActivity, pooled bool, par int) {
+// every surviving token into the store. beam and maxActive are the
+// frame's pruning parameters (the config's, or the adaptive policy's
+// for this frame). In pooled mode each candidate token comes from the
+// frame-parity arena; a candidate the store rejects outright is
+// handed straight back (freeLast), so rejection storms — the very
+// workload explosion the paper studies — do not grow the arena.
+func (s *Session) expand(frame []float64, fa *FrameActivity, pooled bool, par int, beam float64, maxActive int) {
 	cur := s.cur
 	best := math.Inf(1)
 	for _, tok := range cur.toks {
@@ -394,12 +416,12 @@ func (s *Session) expand(frame []float64, fa *FrameActivity, pooled bool, par in
 		}
 	}
 	limit := math.Inf(1)
-	if s.cfg.Beam > 0 {
-		limit = best + s.cfg.Beam
+	if beam > 0 {
+		limit = best + beam
 	}
 	expandLimit := limit
-	if s.cfg.MaxActive > 0 && cur.len() > s.cfg.MaxActive {
-		if l := s.maxActiveLimit(s.cfg.MaxActive); l < expandLimit {
+	if maxActive > 0 && cur.len() > maxActive {
+		if l := s.maxActiveLimit(maxActive); l < expandLimit {
 			expandLimit = l
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/control"
 )
 
 // RejectedError is returned by Dial when the server refuses the
@@ -17,18 +19,25 @@ type RejectedError struct {
 	Reason     string
 	RetryAfter time.Duration
 	Available  []string
+	permanent  bool // the server's permanent flag from the reject reply
 }
 
 func (e *RejectedError) Error() string {
-	if e.Permanent() {
+	switch {
+	case len(e.Available) > 0:
 		return fmt.Sprintf("serve: session rejected: %s (available models: %v)", e.Reason, e.Available)
+	case e.Permanent():
+		return fmt.Sprintf("serve: session rejected: %s (permanent)", e.Reason)
+	default:
+		return fmt.Sprintf("serve: session rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
 	}
-	return fmt.Sprintf("serve: session rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
 }
 
-// Permanent reports whether retrying is pointless (the server named
-// the models it does serve and ours is not one of them).
-func (e *RejectedError) Permanent() bool { return len(e.Available) > 0 }
+// Permanent reports whether retrying is pointless: the server flagged
+// the reject permanent (unknown model, invalid controller config), or
+// — against servers predating the flag — it named the models it does
+// serve and ours is not one of them.
+func (e *RejectedError) Permanent() bool { return e.permanent || len(e.Available) > 0 }
 
 // SessionOptions parameterize one client session.
 type SessionOptions struct {
@@ -42,6 +51,10 @@ type SessionOptions struct {
 	// PartialEvery asks for a partial hypothesis every N frames;
 	// partials are collected by Finish.
 	PartialEvery int
+	// Control, when non-nil, asks the server to decode this session
+	// under the adaptive beam controller (internal/control). An invalid
+	// configuration comes back as a permanent *RejectedError.
+	Control *control.Config
 	// DialTimeout bounds the TCP connect (0 = 10s).
 	DialTimeout time.Duration
 }
@@ -85,6 +98,7 @@ func Dial(addr string, opts SessionOptions) (*ClientSession, error) {
 		Model:        opts.Model,
 		DeadlineMS:   opts.Deadline.Milliseconds(),
 		PartialEvery: opts.PartialEvery,
+		Control:      opts.Control,
 	})
 	if err != nil {
 		conn.Close()
@@ -105,6 +119,7 @@ func Dial(addr string, opts SessionOptions) (*ClientSession, error) {
 			Reason:     rep.Reason,
 			RetryAfter: time.Duration(rep.RetryAfterMS) * time.Millisecond,
 			Available:  rep.Available,
+			permanent:  rep.Permanent,
 		}
 	default:
 		conn.Close()

@@ -10,6 +10,8 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/control"
+	"repro/internal/decoder"
 	"repro/internal/obs"
 )
 
@@ -28,6 +30,10 @@ type session struct {
 	inDim    int
 	outDim   int
 	frameCtr *obs.Counter // per-model frame counter child
+
+	// dcfg is the server's decode configuration plus this session's
+	// adaptive controller, if the handshake requested one.
+	dcfg decoder.Config
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -71,8 +77,23 @@ func (s *Server) handle(conn net.Conn) {
 			Event:     EventReject,
 			Reason:    fmt.Sprintf("unknown model %q", req.Model),
 			Available: s.cfg.Registry.Names(),
+			Permanent: true,
 		})
 		return
+	}
+
+	// Likewise the controller config: invalid parameters are a client
+	// error, validated before spending an admission slot, and the
+	// reject is permanent — resending the same config cannot succeed.
+	c.dcfg = s.cfg.Decode
+	if req.Control != nil {
+		ctl, err := control.New(*req.Control)
+		if err != nil {
+			obsRejects.Inc()
+			_ = c.reply(Reply{Event: EventReject, Reason: err.Error(), Permanent: true})
+			return
+		}
+		c.dcfg.Policy = ctl
 	}
 
 	ok, reason := s.admit()
@@ -117,7 +138,7 @@ func (s *Server) handle(conn net.Conn) {
 
 // run drives the decode loop after admission.
 func (c *session) run(partialEvery int) {
-	dec := c.srv.takeSession()
+	dec := c.srv.takeSession(c.dcfg)
 	defer c.srv.putSession(dec)
 	scores := make([]float64, c.outDim)
 	frames := 0

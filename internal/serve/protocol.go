@@ -8,6 +8,7 @@ package serve
 // Client → server:
 //
 //	{"op":"start","id":"utt-3","model":"tiny-sparse","deadline_ms":30000,"partial_every":8}
+//	{"op":"start","id":"utt-4","control":{"target_occupancy":32,"min_beam":8,"max_beam":15}}
 //	{"op":"frame","data":[...]}        // spliced features, len = InDim
 //	{"op":"finish"}
 //
@@ -15,10 +16,13 @@ package serve
 //
 //	{"event":"ready","session":"utt-3","model":"tiny-sparse"}
 //	{"event":"reject","reason":"...","retry_after_ms":250}
-//	{"event":"reject","reason":"unknown model ...","available":["a","b"]}
+//	{"event":"reject","reason":"unknown model ...","available":["a","b"],"permanent":true}
+//	{"event":"reject","reason":"control: ...","permanent":true}
 //	{"event":"partial","words":[...]}  // every partial_every frames
 //	{"event":"result","ok":true,"words":[...],"cost":...,"frames":42}
 //	{"event":"error","reason":"..."}
+
+import "repro/internal/control"
 
 // Request ops.
 const (
@@ -52,6 +56,11 @@ type Request struct {
 	// PartialEvery asks for a partial hypothesis event every N frames
 	// (0 = no partials).
 	PartialEvery int `json:"partial_every,omitempty"`
+	// Control, when present, decodes this session under the adaptive
+	// beam controller with the given configuration (internal/control;
+	// docs/ADAPTIVE.md specifies the law). An invalid configuration is
+	// answered with a permanent structured reject before admission.
+	Control *control.Config `json:"control,omitempty"`
 
 	// frame field: one spliced feature vector, len = network InDim.
 	Data []float64 `json:"data,omitempty"`
@@ -71,6 +80,10 @@ type Reply struct {
 	// Available accompanies unknown-model rejects: the variant names
 	// this server can decode with.
 	Available []string `json:"available,omitempty"`
+	// Permanent marks a reject that retrying cannot fix (unknown model,
+	// invalid controller config) — the client should repair the request
+	// instead of backing off.
+	Permanent bool `json:"permanent,omitempty"`
 
 	// partial / result payload
 	Words  []int   `json:"words,omitempty"`

@@ -381,9 +381,13 @@ func (s *Server) track(conn net.Conn, add bool) {
 }
 
 // takeSession returns a recycled decode session from the pool, or
-// starts a fresh one. Recycling is invisible to clients: Restart is
-// bit-identical to Decoder.Start with the same configuration.
-func (s *Server) takeSession() *decoder.Session {
+// starts a fresh one, configured with dcfg — the server's Decode
+// config plus any per-session additions (the handshake's adaptive
+// controller). Recycling is invisible to clients: Restart is
+// bit-identical to Decoder.Start with the same configuration, and a
+// pooled session resets the controller at Restart, so a recycled
+// adaptive session decides exactly like a fresh one.
+func (s *Server) takeSession(dcfg decoder.Config) *decoder.Session {
 	s.poolMu.Lock()
 	var ses *decoder.Session
 	if n := len(s.pool); n > 0 {
@@ -393,11 +397,11 @@ func (s *Server) takeSession() *decoder.Session {
 	}
 	s.poolMu.Unlock()
 	if ses != nil {
-		if err := ses.Restart(s.cfg.Decode); err == nil {
+		if err := ses.Restart(dcfg); err == nil {
 			return ses
 		}
 	}
-	return s.cfg.Decoder.Start(s.cfg.Decode)
+	return s.cfg.Decoder.Start(dcfg)
 }
 
 // putSession returns a session to the pool once its connection is

@@ -207,3 +207,51 @@ func TestSynthesizeSetSeeding(t *testing.T) {
 		t.Fatalf("different seeds produced identical first utterance")
 	}
 }
+
+// TestVocabChangePreservesMeans pins the RNG fork isolation that the
+// scenario matrix's vocabulary sweep depends on (asr.System.Derive):
+// NewWorld draws every senone emission mean from a fork taken before
+// any vocabulary-dependent randomness is consumed, so two worlds
+// differing only in Vocab share senones bit for bit — models trained
+// on one score the other's frames correctly.
+func TestVocabChangePreservesMeans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPhones = 6
+	cfg.Vocab = 8
+	small, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Vocab = 20
+	big, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Lexicon) != 20 || len(small.Lexicon) != 8 {
+		t.Fatalf("lexicon sizes %d/%d", len(small.Lexicon), len(big.Lexicon))
+	}
+	if len(small.Means) != len(big.Means) {
+		t.Fatalf("senone counts differ: %d vs %d", len(small.Means), len(big.Means))
+	}
+	for s := range small.Means {
+		for d := range small.Means[s] {
+			if small.Means[s][d] != big.Means[s][d] {
+				t.Fatalf("senone %d mean[%d]: %v != %v — vocab change disturbed the emission model",
+					s, d, small.Means[s][d], big.Means[s][d])
+			}
+		}
+	}
+	// The first words of the two lexicons also match: lexicon entries
+	// are drawn sequentially from the same fork, so a bigger vocabulary
+	// extends the word list rather than reshuffling it.
+	for w := range small.Lexicon {
+		if len(small.Lexicon[w]) != len(big.Lexicon[w]) {
+			t.Fatalf("word %d length changed", w)
+		}
+		for i := range small.Lexicon[w] {
+			if small.Lexicon[w][i] != big.Lexicon[w][i] {
+				t.Fatalf("word %d phones changed: %v vs %v", w, small.Lexicon[w], big.Lexicon[w])
+			}
+		}
+	}
+}
