@@ -42,13 +42,13 @@ import (
 	"log"
 	"math/rand"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/asr"
+	"repro/internal/bench"
 	"repro/internal/control"
 	"repro/internal/serve"
 	"repro/internal/speech"
@@ -208,7 +208,7 @@ func main() {
 		len(testSet)-failed, failed, frames, workers, wall.Seconds())
 	fmt.Printf("rejects: %d (%d retried successfully)\n", rejects.Load(), retries.Load())
 	if len(latencies) > 0 {
-		fmt.Printf("latency: %s\n", percentiles(latencies))
+		fmt.Printf("latency: %s\n", bench.SummarizeLatency(latencies))
 	}
 	if corpus.RefWords > 0 {
 		fmt.Printf("WER: %.2f%% (%d sub, %d ins, %d del over %d words)\n",
@@ -221,7 +221,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("model %s: %d utts   latency: %s   WER: %.2f%%\n",
-			modelLabel(m), len(ms.latencies), percentiles(ms.latencies), ms.corpus.Rate())
+			modelLabel(m), len(ms.latencies), bench.SummarizeLatency(ms.latencies), ms.corpus.Rate())
 	}
 	if failed > 0 {
 		os.Exit(1)
@@ -239,25 +239,6 @@ func modelLabel(m string) string {
 		return "(default)"
 	}
 	return m
-}
-
-// percentiles formats mean/p50/p95/max over a latency sample.
-func percentiles(latencies []time.Duration) string {
-	sorted := append([]time.Duration(nil), latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var sum time.Duration
-	for _, l := range sorted {
-		sum += l
-	}
-	p95 := (len(sorted) * 95) / 100
-	if p95 >= len(sorted) {
-		p95 = len(sorted) - 1
-	}
-	return fmt.Sprintf("mean %.1fms  p50 %.1fms  p95 %.1fms  max %.1fms",
-		float64(sum.Milliseconds())/float64(len(sorted)),
-		ms(sorted[len(sorted)/2]),
-		ms(sorted[p95]),
-		ms(sorted[len(sorted)-1]))
 }
 
 // streamOne pushes one utterance through a session, retrying
@@ -327,8 +308,6 @@ func awaitServer(addr string, timeout time.Duration) error {
 		time.Sleep(100 * time.Millisecond)
 	}
 }
-
-func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func words(ws []int) string {
 	parts := make([]string, len(ws))

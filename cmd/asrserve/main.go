@@ -22,7 +22,11 @@
 // "default"; -backend selects its scoring kernels (auto picks CSR
 // sparse for pruned layers). With -manifest each variant carries its
 // own name, model file, and backend (docs/SERVING.md has the format);
-// clients select one with the handshake's model field. Transcripts
+// clients select one with the handshake's model field. A manifest may
+// also carry a "serve" block holding the batcher operating point
+// cmd/asrbench -autotune measured for the model set (max_batch,
+// batch_window_ms); it is applied unless -max-batch/-batch-window are
+// set explicitly. Transcripts
 // are bit-identical across backends and batching, only forward-pass
 // latency changes.
 //
@@ -113,9 +117,23 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 
-	reg, err := buildRegistry(*modelPath, *manifestPath, *backendFlag)
+	reg, manifest, err := buildRegistry(*modelPath, *manifestPath, *backendFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The manifest's serve block carries the batcher operating point
+	// asrbench -autotune measured for this model set; explicit flags
+	// still win.
+	if manifest != nil && manifest.Serve != nil {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if manifest.Serve.MaxBatch > 0 && !explicit["max-batch"] {
+			*maxBatch = manifest.Serve.MaxBatch
+		}
+		if manifest.Serve.BatchWindowMS != 0 && !explicit["batch-window"] {
+			*batchWindow = manifest.Serve.Window()
+		}
+		log.Printf("manifest serve defaults: max-batch %d, batch-window %v", *maxBatch, *batchWindow)
 	}
 	world, err := speech.NewWorld(scale.World)
 	if err != nil {
@@ -196,26 +214,28 @@ func main() {
 }
 
 // buildRegistry assembles the model registry from either a single
-// -model file (one variant named "default") or a -manifest.
-func buildRegistry(modelPath, manifestPath, backendFlag string) (*registry.Registry, error) {
+// -model file (one variant named "default") or a -manifest, returning
+// the parsed manifest too so main can apply its serve defaults.
+func buildRegistry(modelPath, manifestPath, backendFlag string) (*registry.Registry, *registry.Manifest, error) {
 	if manifestPath != "" {
 		m, err := registry.LoadManifest(manifestPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return m.Build()
+		reg, err := m.Build()
+		return reg, m, err
 	}
 	backend, err := dnn.ParseBackend(backendFlag)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	net, err := dnn.LoadFile(modelPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reg := registry.New()
 	if _, err := reg.Register("default", modelPath, net, backend); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return reg, nil
+	return reg, nil, nil
 }

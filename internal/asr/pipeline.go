@@ -2,13 +2,12 @@ package asr
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/accel/dnnsim"
 	"repro/internal/accel/viterbisim"
 	"repro/internal/control"
 	"repro/internal/decoder"
+	"repro/internal/mat"
 )
 
 // Mitigation selects how the system copes with the Viterbi workload
@@ -185,44 +184,27 @@ func (r *PipelineResult) TotalEnergyJ() float64 { return r.DNNEnergyJ + r.Viterb
 // TailSeconds reports the p-quantile (0..1) of per-utterance Viterbi
 // decode time, in raw seconds; callers normalize per second of speech
 // where needed. Used for the tail-latency analysis of Section II-C.
-// The quantile is nearest-rank: the sorted sample at index
-// round(p*(n-1)), clamped to the valid range.
+// The quantile is nearest-rank (mat.Quantile — the definition every
+// latency report in the repo shares).
 func (r *PipelineResult) TailSeconds(p float64) float64 {
-	if len(r.UttSeconds) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), r.UttSeconds...)
-	sort.Float64s(s)
-	idx := int(math.Round(p * float64(len(s)-1)))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
+	return mat.Quantile(r.UttSeconds, p)
 }
 
 // FrameTailSeconds reports the p-quantile (0..1) of per-frame modelled
 // search latency — each frame's store cycles at the accelerator clock
 // hz — over the whole test set. It needs Config.RecordFrames; without
-// records it reports 0. Like TailSeconds the quantile is nearest-rank,
-// and being derived from modelled cycles it is bit-reproducible where
-// wall-clock percentiles are not.
+// records it reports 0. Like TailSeconds the quantile is nearest-rank
+// (mat.Quantile), and being derived from modelled cycles it is
+// bit-reproducible where wall-clock percentiles are not.
 func (r *PipelineResult) FrameTailSeconds(p, hz float64) float64 {
 	if len(r.FrameCycles) == 0 || hz <= 0 {
 		return 0
 	}
-	s := append([]int64(nil), r.FrameCycles...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(math.Round(p * float64(len(s)-1)))
-	if idx < 0 {
-		idx = 0
+	s := make([]float64, len(r.FrameCycles))
+	for i, c := range r.FrameCycles {
+		s[i] = float64(c)
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return float64(s[idx]) / hz
+	return mat.Quantile(s, p) / hz
 }
 
 // storeFactory builds the decoder hypothesis store for a config.

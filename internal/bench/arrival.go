@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// Schedule returns n open-loop Poisson arrival offsets at the given
+// mean rate (sessions per second): offset i is the cumulative sum of
+// i.i.d. exponential inter-arrival gaps drawn by inverse transform
+// from a seeded RNG. The schedule is a pure function of (n, rate,
+// seed) — replaying a rung twice offers byte-identical load timing,
+// which is what makes two sweeps comparable — and open-loop: arrivals
+// never wait for completions, so a saturated server sees the queue
+// growth a closed-loop generator would hide.
+func Schedule(n int, rate float64, seed int64) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if rate <= 0 {
+		return make([]time.Duration, n) // everything at t=0: a burst
+	}
+	rng := mat.NewRNG(seed)
+	offsets := make([]time.Duration, n)
+	var t float64 // seconds
+	for i := range offsets {
+		// Exponential(rate) by inversion; 1-U in (0,1] keeps Log finite.
+		gap := -math.Log(1-rng.Float64()) / rate
+		t += gap
+		offsets[i] = time.Duration(t * float64(time.Second))
+	}
+	return offsets
+}
+
+// ScheduleHash fingerprints a schedule (FNV-1a over the nanosecond
+// offsets, via the corpus hash helper's encoding) for provenance and
+// the determinism tests.
+func ScheduleHash(offsets []time.Duration) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, d := range offsets {
+		v := uint64(d)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

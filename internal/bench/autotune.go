@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Knobs is one candidate setting of the serve batcher: the maximum
+// frames per forward pass and the flush window. WindowMS < 0 means
+// the opportunistic windowless batcher (serve.Config.BatchWindow < 0:
+// flush whatever is queued, add no latency); WindowMS == 0 is not a
+// valid candidate (serve reads it as "use the default").
+type Knobs struct {
+	MaxBatch int     `json:"max_batch"`
+	WindowMS float64 `json:"batch_window_ms"`
+}
+
+// Window converts the candidate's WindowMS to the serve.Config
+// encoding.
+func (k Knobs) Window() time.Duration {
+	if k.WindowMS < 0 {
+		return -time.Millisecond
+	}
+	return time.Duration(k.WindowMS * float64(time.Millisecond))
+}
+
+func (k Knobs) String() string {
+	if k.WindowMS < 0 {
+		return fmt.Sprintf("max-batch %d, window off", k.MaxBatch)
+	}
+	return fmt.Sprintf("max-batch %d, window %gms", k.MaxBatch, k.WindowMS)
+}
+
+// Trial is one measured candidate.
+type Trial struct {
+	Knobs Knobs     `json:"knobs"`
+	Stats *RunStats `json:"stats"`
+}
+
+// AutotuneResult is the coordinate search's outcome: the static
+// default operating point, the tuned one (the p99-argmin over every
+// trial, so Tuned.Stats.Session.P99MS <= Default.Stats.Session.P99MS
+// by construction — the gate ci.sh enforces), and the full trial list
+// in search order.
+type AutotuneResult struct {
+	Default Trial   `json:"default"`
+	Tuned   Trial   `json:"tuned"`
+	Trials  []Trial `json:"trials"`
+}
+
+// ServerFactory restarts the server under test with the given batcher
+// knobs and returns its address plus a stop function that must drain
+// it cleanly. The autotuner owns the lifecycle: one start/stop per
+// trial, never two servers at once.
+type ServerFactory func(maxBatch int, window time.Duration) (addr string, stop func() error, err error)
+
+// AutotuneConfig parameterizes the search.
+type AutotuneConfig struct {
+	// Rate is the reference arrival rate candidates are measured at —
+	// pick a rung near (below) the saturation knee, where batching
+	// choices actually move the tail.
+	Rate float64
+	// PerRate bounds utterances per trial (0 = whole corpus).
+	PerRate int
+	// ScheduleSeed seeds every trial's arrival schedule (identical
+	// offered load across candidates).
+	ScheduleSeed int64
+	// Defaults is the static operating point the search starts from
+	// and compares against (asrserve's defaults: the session cap as
+	// MaxBatch, 1ms window).
+	Defaults Knobs
+	// Windows and Batches are the candidate axes (nil = DefaultWindows
+	// / DefaultBatches). The search is coordinate descent: sweep
+	// windows at the default MaxBatch, then sweep MaxBatch at the best
+	// window. Candidate order is fixed, measurements are argmin with
+	// first-seen tie-break, so the search trajectory is deterministic
+	// even though each measurement is wall-clock.
+	Windows []time.Duration
+	Batches []int
+	// Opts is the shared replay configuration.
+	Opts ReplayOptions
+	// Progress, when non-nil, receives one line per trial.
+	Progress io.Writer
+}
+
+// DefaultWindows is the flush-window candidate axis: windowless, then
+// half-millisecond steps around the historical 1ms static guess.
+func DefaultWindows() []time.Duration {
+	return []time.Duration{
+		-time.Millisecond, // opportunistic
+		500 * time.Microsecond,
+		time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+	}
+}
+
+// DefaultBatches is the MaxBatch candidate axis.
+func DefaultBatches() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// Autotune runs the coordinate search against a live restartable
+// server and returns the chosen operating point. Each trial starts
+// the server with the candidate knobs, replays the corpus at the
+// reference rate, and records the p99 session latency; the tuned
+// point is the argmin. The default point is always trial zero, so the
+// tuned p99 can never exceed the default's measured p99.
+func Autotune(c *Corpus, cfg AutotuneConfig, factory ServerFactory) (*AutotuneResult, error) {
+	windows := cfg.Windows
+	if windows == nil {
+		windows = DefaultWindows()
+	}
+	batches := cfg.Batches
+	if batches == nil {
+		batches = DefaultBatches()
+	}
+
+	res := &AutotuneResult{}
+	tried := map[Knobs]bool{}
+	measure := func(k Knobs) (*Trial, error) {
+		if tried[k] {
+			return nil, nil
+		}
+		tried[k] = true
+		addr, stop, err := factory(k.MaxBatch, k.Window())
+		if err != nil {
+			return nil, fmt.Errorf("bench: starting server with %s: %w", k, err)
+		}
+		if err := Await(addr, 10*time.Second); err != nil {
+			_ = stop()
+			return nil, err
+		}
+		opts := cfg.Opts
+		opts.Addr = addr
+		st := Replay(c, cfg.PerRate, cfg.Rate, cfg.ScheduleSeed, opts)
+		if err := stop(); err != nil {
+			return nil, fmt.Errorf("bench: stopping server after %s: %w", k, err)
+		}
+		res.Trials = append(res.Trials, Trial{Knobs: k, Stats: st})
+		t := &res.Trials[len(res.Trials)-1]
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "trial %-28s p99 %7.1fms  %.0f frames/s\n",
+				t.Knobs, st.Session.P99MS, st.FramesPerSec)
+		}
+		return t, nil
+	}
+	// best returns the argmin-p99 trial so far; first seen wins ties,
+	// and trial zero is the default point.
+	best := func() Trial {
+		b := res.Trials[0]
+		for _, t := range res.Trials[1:] {
+			if t.Stats.Session.P99MS < b.Stats.Session.P99MS {
+				b = t
+			}
+		}
+		return b
+	}
+
+	def, err := measure(cfg.Defaults)
+	if err != nil {
+		return nil, err
+	}
+	res.Default = *def
+
+	// Phase 1: sweep the flush window at the default MaxBatch.
+	for _, w := range windows {
+		k := Knobs{MaxBatch: cfg.Defaults.MaxBatch, WindowMS: windowMS(w)}
+		if _, err := measure(k); err != nil {
+			return nil, err
+		}
+	}
+	bestWindow := best().Knobs.WindowMS
+
+	// Phase 2: sweep MaxBatch at the winning window.
+	for _, mb := range batches {
+		if mb <= 0 {
+			continue
+		}
+		k := Knobs{MaxBatch: mb, WindowMS: bestWindow}
+		if _, err := measure(k); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Tuned = best()
+	return res, nil
+}
+
+// windowMS converts a serve.Config batch window to the Knobs
+// encoding: negative durations (opportunistic) normalize to -1.
+func windowMS(w time.Duration) float64 {
+	if w < 0 {
+		return -1
+	}
+	return float64(w) / float64(time.Millisecond)
+}

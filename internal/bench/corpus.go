@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/asr"
+	"repro/internal/mat"
+	"repro/internal/speech"
+)
+
+// Profile is one scenario slice of the corpus: an evaluation world
+// bent along the same stress dimensions as experiments.Scenarios.
+// Zero-valued fields keep the spec's base condition, so the zero
+// Profile (weighted) is plain baseline traffic. The world-bending is
+// sound for the same reason asr.System.Derive is: speech.NewWorld
+// draws the senone emission means before consuming any
+// vocabulary-dependent randomness, so a profile that only widens the
+// vocabulary emits frames the server's models score correctly —
+// wide-vocab utterances are out-of-grammar traffic for the server's
+// decode graph, which is exactly the flat-posterior load the paper's
+// dark side predicts is expensive.
+type Profile struct {
+	Name        string  `json:"name"`
+	Noise       float64 `json:"noise,omitempty"`         // emission-noise scale (0 = the spec's base)
+	Vocab       int     `json:"vocab,omitempty"`         // vocabulary size (0 = the spec's base)
+	WordsPerUtt int     `json:"words_per_utt,omitempty"` // utterance length (0 = the spec's base)
+	Weight      float64 `json:"weight"`                  // mix weight (relative)
+}
+
+// CorpusSpec parameterizes corpus generation. Everything is plain
+// data, so two specs that compare equal generate bit-identical
+// corpora.
+type CorpusSpec struct {
+	World       speech.Config `json:"-"` // base world (the serving scale's)
+	Context     int           `json:"-"` // splice context, must match the server's scale
+	WordsPerUtt int           `json:"words_per_utt"`
+	NoiseScale  float64       `json:"noise_scale"` // base test noise (train/test mismatch)
+	Utts        int           `json:"utts"`
+	Seed        int64         `json:"seed"`
+	Profiles    []Profile     `json:"profiles"`
+}
+
+// SpecFor derives the default corpus spec from a serving scale: the
+// scale's own test condition as the baseline profile, plus the
+// scenario matrix's stress dimensions — 1.3x noise, doubled
+// vocabulary, doubled utterance length — in a 4:2:1:1 mix. utts is
+// the corpus size, seed the generation seed (the same seed always
+// yields the same corpus).
+func SpecFor(scale asr.Scale, utts int, seed int64) CorpusSpec {
+	noise := scale.TestNoiseScale
+	if noise <= 0 {
+		noise = 1
+	}
+	return CorpusSpec{
+		World:       scale.World,
+		Context:     scale.Context,
+		WordsPerUtt: scale.WordsPerUtt,
+		NoiseScale:  noise,
+		Utts:        utts,
+		Seed:        seed,
+		Profiles: []Profile{
+			{Name: "baseline", Weight: 4},
+			{Name: "noisy", Noise: noise * 1.3, Weight: 2},
+			{Name: "wide-vocab", Vocab: 2 * scale.World.Vocab, Weight: 1},
+			{Name: "long-utt", WordsPerUtt: 2 * scale.WordsPerUtt, Weight: 1},
+		},
+	}
+}
+
+// ApplyMix overrides the spec's profile weights by name. A weight of
+// zero removes the profile from the mix; naming an unknown profile is
+// an error.
+func (s *CorpusSpec) ApplyMix(weights map[string]float64) error {
+	byName := map[string]int{}
+	for i, p := range s.Profiles {
+		byName[p.Name] = i
+	}
+	for name, w := range weights {
+		i, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(s.Profiles))
+			for _, p := range s.Profiles {
+				known = append(known, p.Name)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("bench: unknown profile %q (have %v)", name, known)
+		}
+		if w < 0 {
+			return fmt.Errorf("bench: profile %q has negative weight %v", name, w)
+		}
+		s.Profiles[i].Weight = w
+	}
+	return nil
+}
+
+// Utterance is one corpus entry: the reference transcript, the raw
+// acoustic frames (spliced lazily at replay time to keep large
+// corpora compact), and the profile it was drawn from.
+type Utterance struct {
+	ID      string
+	Profile string
+	Words   []int       // reference transcript (word ids in the profile's vocabulary)
+	Frames  [][]float64 // FeatDim acoustic features per frame
+}
+
+// Corpus is a generated utterance set plus its provenance.
+type Corpus struct {
+	Spec CorpusSpec
+	Utts []Utterance
+
+	frames int // total acoustic frames, computed at generation
+}
+
+// Generate synthesizes the corpus: one world per profile (differing
+// from the base world only along the profile's bent dimension), then
+// spec.Utts utterances whose profile assignment and content both come
+// from a single RNG seeded with spec.Seed — bit-reproducible, and
+// pinned so by TestCorpusDeterminism.
+func Generate(spec CorpusSpec) (*Corpus, error) {
+	if spec.Utts <= 0 {
+		return nil, fmt.Errorf("bench: corpus size %d must be positive", spec.Utts)
+	}
+	if len(spec.Profiles) == 0 {
+		spec.Profiles = []Profile{{Name: "baseline", Weight: 1}}
+	}
+	baseNoise := spec.NoiseScale
+	if baseNoise <= 0 {
+		baseNoise = 1
+	}
+	baseWords := spec.WordsPerUtt
+	if baseWords <= 0 {
+		return nil, fmt.Errorf("bench: WordsPerUtt must be positive")
+	}
+
+	type inst struct {
+		world *speech.World
+		noise float64
+		words int
+	}
+	insts := make([]inst, 0, len(spec.Profiles))
+	weights := make([]float64, 0, len(spec.Profiles))
+	names := make([]string, 0, len(spec.Profiles))
+	var total float64
+	for _, p := range spec.Profiles {
+		if p.Weight <= 0 {
+			continue
+		}
+		wcfg := spec.World
+		if p.Vocab > 0 {
+			wcfg.Vocab = p.Vocab
+		}
+		world, err := speech.NewWorld(wcfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: profile %s: %w", p.Name, err)
+		}
+		noise := baseNoise
+		if p.Noise > 0 {
+			noise = p.Noise
+		}
+		words := baseWords
+		if p.WordsPerUtt > 0 {
+			words = p.WordsPerUtt
+		}
+		insts = append(insts, inst{world: world, noise: noise, words: words})
+		weights = append(weights, p.Weight)
+		names = append(names, p.Name)
+		total += p.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("bench: corpus mix has no positive weights")
+	}
+
+	rng := mat.NewRNG(spec.Seed)
+	c := &Corpus{Spec: spec, Utts: make([]Utterance, spec.Utts)}
+	for i := range c.Utts {
+		pi := rng.Categorical(weights)
+		in := insts[pi]
+		u := in.world.SynthesizeNoisy(in.words, rng.Fork(), in.noise)
+		c.Utts[i] = Utterance{
+			ID:      fmt.Sprintf("bench-%05d", i),
+			Profile: names[pi],
+			Words:   u.Words,
+			Frames:  u.Frames,
+		}
+		c.frames += len(u.Frames)
+	}
+	return c, nil
+}
+
+// TotalFrames reports the corpus size in acoustic frames.
+func (c *Corpus) TotalFrames() int { return c.frames }
+
+// ProfileCounts reports how many utterances each profile contributed.
+func (c *Corpus) ProfileCounts() map[string]int {
+	counts := map[string]int{}
+	for i := range c.Utts {
+		counts[c.Utts[i].Profile]++
+	}
+	return counts
+}
+
+// Spliced returns utterance i's frames spliced with the spec's
+// context — the feature vectors the wire protocol carries. Splicing
+// is recomputed per call so a multi-rung sweep does not hold the
+// spliced corpus in memory.
+func (c *Corpus) Spliced(i int) [][]float64 {
+	return speech.SpliceAll(c.Utts[i].Frames, c.Spec.Context)
+}
+
+// Hash fingerprints the corpus content — every utterance's profile,
+// reference words, and frame bits, in order — with FNV-1a. Two
+// generations from the same spec must collide exactly; the hash is
+// recorded in BENCH_serve.json as provenance and compared by the
+// determinism tests.
+func (c *Corpus) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i := range c.Utts {
+		u := &c.Utts[i]
+		h.Write([]byte(u.Profile))
+		word(uint64(len(u.Words)))
+		for _, w := range u.Words {
+			word(uint64(w))
+		}
+		word(uint64(len(u.Frames)))
+		for _, fr := range u.Frames {
+			for _, v := range fr {
+				word(math.Float64bits(v))
+			}
+		}
+	}
+	return h.Sum64()
+}

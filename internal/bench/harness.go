@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Harness runs the server under test in-process, one instance per
+// trial, so the autotuner can restart it with different batcher knobs
+// without shelling out. The Template carries everything but the knobs
+// (registry, decoder, admission limits); each Start copies it, so the
+// compiled plans and the decode graph are shared read-only across
+// restarts and only the batchers differ.
+type Harness struct {
+	Template serve.Config
+	// DrainTimeout bounds each stop's graceful drain (default 30s).
+	DrainTimeout time.Duration
+}
+
+// Start launches one server with the template's configuration and the
+// given batcher knobs (maxBatch <= 0 keeps the template's) on a free
+// port, returning the bound address and a stop function that drains
+// it and reports any serve/drain failure. Start is a bench.ServerFactory.
+func (h *Harness) Start(maxBatch int, window time.Duration) (string, func() error, error) {
+	cfg := h.Template
+	if maxBatch > 0 {
+		cfg.MaxBatch = maxBatch
+	}
+	cfg.BatchWindow = window
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	stop := func() error {
+		timeout := h.DrainTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("bench: harness drain: %w", err)
+		}
+		return <-serveErr
+	}
+	return addr.String(), stop, nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SweepConfig parameterizes a rate-ladder sweep.
+type SweepConfig struct {
+	// Rates is the arrival-rate ladder in sessions per second; it is
+	// sorted ascending before the sweep.
+	Rates []float64
+	// SLO is the p99 session-latency objective a rung must meet to
+	// count as sustained.
+	SLO time.Duration
+	// PerRate bounds how many corpus utterances each rung replays
+	// (0 = the whole corpus). Every rung replays the same leading
+	// slice, so rungs differ only in arrival rate.
+	PerRate int
+	// ScheduleSeed seeds each rung's arrival schedule.
+	ScheduleSeed int64
+	// Opts is the shared replay configuration (endpoint, model, retry
+	// budget).
+	Opts ReplayOptions
+	// Progress, when non-nil, receives one line per completed rung.
+	Progress io.Writer
+}
+
+// Saturation is the knee the sweep located: the highest offered rate
+// the server sustained (p99 within SLO, no failed sessions) and the
+// throughput measured there. Found is true only when the ladder
+// actually crossed the knee — some higher rung was unsustained — so a
+// ladder that never stresses the server reports its top rung with
+// Found false rather than a fake knee.
+type Saturation struct {
+	Found               bool    `json:"found"`
+	RateSessionsPerSec  float64 `json:"rate_sessions_per_sec"`
+	FramesPerSec        float64 `json:"frames_per_sec"`
+	FramesPerSecPerCore float64 `json:"frames_per_sec_per_core"`
+	// Limit says what broke at the first unsustained rung above the
+	// knee: "slo" (p99 blew past the objective) or "failures"
+	// (sessions shed after exhausting their retry budget).
+	Limit string `json:"limit,omitempty"`
+}
+
+// Sweep replays the corpus once per ladder rung in ascending rate
+// order, marks each rung sustained or not against the SLO, and
+// returns the per-rung stats plus the saturation knee. Rungs run
+// back to back against the same server, so the ladder measures one
+// configuration's whole latency-vs-load curve.
+func Sweep(c *Corpus, cfg SweepConfig) ([]*RunStats, Saturation) {
+	rates := append([]float64(nil), cfg.Rates...)
+	sort.Float64s(rates)
+	slo := cfg.SLO.Seconds() * 1e3 // ms
+
+	var rungs []*RunStats
+	sat := Saturation{}
+	kneeIdx := -1
+	for i, rate := range rates {
+		st := Replay(c, cfg.PerRate, rate, cfg.ScheduleSeed, cfg.Opts)
+		st.Sustained = st.Failed == 0 && (cfg.SLO <= 0 || st.Session.P99MS <= slo)
+		rungs = append(rungs, st)
+		if st.Sustained {
+			kneeIdx = i
+			sat.RateSessionsPerSec = st.RateSessionsPerSec
+			sat.FramesPerSec = st.FramesPerSec
+			sat.FramesPerSecPerCore = st.FramesPerSecPerCore
+		}
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "rate %6.1f/s: %s\n", rate, st.Line())
+		}
+	}
+	// The knee is only "found" when a rung above it failed the SLO —
+	// record what broke there.
+	for i, st := range rungs {
+		if i > kneeIdx && !st.Sustained {
+			sat.Found = kneeIdx >= 0
+			switch {
+			case st.Failed > 0:
+				sat.Limit = "failures"
+			default:
+				sat.Limit = "slo"
+			}
+			break
+		}
+	}
+	return rungs, sat
+}
+
+// Line renders the rung the way the CLI prints the ladder.
+func (s *RunStats) Line() string {
+	mark := "SUSTAINED"
+	if !s.Sustained {
+		mark = "OVER-SLO "
+	}
+	return fmt.Sprintf("%s  %d/%d ok  rejects %d (%d retried ok)  %.0f frames/s (%.0f /core)  WER %.2f%%  session %s",
+		mark, s.Completed, s.Utts, s.Rejects, s.RetriedOK,
+		s.FramesPerSec, s.FramesPerSecPerCore, s.WERPercent, s.Session)
+}

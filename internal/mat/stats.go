@@ -69,6 +69,39 @@ func Percentile(x []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Quantile returns the nearest-rank p-quantile (p in 0..1) of x: the
+// sorted sample at index round(p*(n-1)), clamped to the valid range.
+// This is the quantile definition every latency report in the repo
+// shares (asr.PipelineResult tails, cmd/asrload, internal/bench) —
+// unlike Percentile it never interpolates, so the result is always an
+// observed sample and is bit-reproducible from the inputs. x is not
+// modified; empty x reports 0.
+func Quantile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile over an already ascending-sorted sample,
+// for callers taking several quantiles of one distribution without
+// re-sorting.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Round(p * float64(len(sorted)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 // Histogram bins x into n equal-width buckets over [min, max] and
 // returns the bucket counts. Values outside the range clamp to the
 // first/last bucket.

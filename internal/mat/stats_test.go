@@ -50,6 +50,52 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestQuantile pins the nearest-rank definition against hand-computed
+// values: for n samples the p-quantile is sorted[round(p*(n-1))]. The
+// fixture is the contract every latency report shares (asr pipeline
+// tails, cmd/asrload, internal/bench), so a change here is a change to
+// all of them at once.
+func TestQuantile(t *testing.T) {
+	// n=5, sorted 10..50: index = round(p*4)
+	x := []float64{30, 10, 50, 20, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10},     // round(0) = 0
+		{0.5, 30},   // round(2) = 2
+		{0.6, 30},   // round(2.4) = 2
+		{0.95, 50},  // round(3.8) = 4
+		{0.99, 50},  // round(3.96) = 4
+		{1, 50},     // round(4) = 4
+		{-0.5, 10},  // clamps low
+		{1.5, 50},   // clamps high
+		{0.125, 20}, // round(0.5) = 1 (half rounds away from zero)
+	}
+	for _, c := range cases {
+		if got := Quantile(x, c.p); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// n=10, sorted 1..10: p99 -> round(0.99*9)=round(8.91)=9 -> 10,
+	// p95 -> round(8.55)=9 -> 10, p90 -> round(8.1)=8 -> 9.
+	y := []float64{6, 3, 8, 1, 10, 2, 9, 4, 7, 5}
+	for _, c := range []struct{ p, want float64 }{{0.99, 10}, {0.95, 10}, {0.9, 9}, {0.5, 6}} {
+		if got := Quantile(y, c.p); got != c.want {
+			t.Fatalf("Quantile(10 samples, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatalf("empty quantile should be 0")
+	}
+	// does not mutate input
+	z := []float64{3, 1, 2}
+	Quantile(z, 0.5)
+	if z[0] != 3 || z[1] != 1 || z[2] != 2 {
+		t.Fatalf("input mutated: %v", z)
+	}
+	if QuantileSorted([]float64{1, 2, 3}, 0.5) != 2 {
+		t.Fatalf("QuantileSorted broken")
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	x := []float64{0.1, 0.9, 1.5, 2.5, -1, 10}
 	h := Histogram(x, 3, 0, 3)

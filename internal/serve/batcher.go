@@ -93,6 +93,20 @@ func (b *batcher) stop() {
 	<-b.done
 }
 
+// Flush reasons: why a batch stopped growing and ran its forward
+// pass. Counted per flush in serve.batch_flush_reason — the ratio of
+// full to window flushes is the direct readout of whether the batch
+// window and max-batch knobs match the offered load (all-window means
+// the window only adds latency; all-full under queue growth means
+// max-batch is the throughput limiter). cmd/asrbench autotunes the
+// knobs against exactly this trade-off.
+const (
+	flushFull          = "full"          // covered every pinned session or hit max-batch
+	flushWindow        = "window"        // the flush window expired first
+	flushOpportunistic = "opportunistic" // windowless batcher drained the queue
+	flushDrain         = "drain"         // final flush while stopping
+)
+
 // run is the batch loop. It blocks for the first request, then
 // collects companions for one window (or until maxBatch) and flushes.
 // With window <= 0 it only drains what is already queued — pure
@@ -106,8 +120,8 @@ func (b *batcher) run() {
 			return
 		}
 		batch = append(batch[:0], first)
-		closed := b.collect(&batch)
-		b.flush(batch)
+		reason, closed := b.collect(&batch)
+		b.flush(batch, reason)
 		if closed {
 			return
 		}
@@ -115,24 +129,25 @@ func (b *batcher) run() {
 }
 
 // collect fills batch up to its target size, waiting at most window
-// from the first frame's arrival; reports whether reqs was closed.
-// The target is min(maxBatch, currently active sessions): each
-// session has at most one frame in flight, so once every admitted
-// session is represented there is nothing left to wait for.
-func (b *batcher) collect(batch *[]*scoreReq) bool {
+// from the first frame's arrival; it returns why the batch closed and
+// whether reqs was closed. The target is min(maxBatch, currently
+// active sessions): each session has at most one frame in flight, so
+// once every admitted session is represented there is nothing left to
+// wait for.
+func (b *batcher) collect(batch *[]*scoreReq) (reason string, closed bool) {
 	if b.window <= 0 {
 		for len(*batch) < b.target() {
 			select {
 			case r, ok := <-b.reqs:
 				if !ok {
-					return true
+					return flushDrain, true
 				}
 				*batch = append(*batch, r)
 			default:
-				return false
+				return flushOpportunistic, false
 			}
 		}
-		return false
+		return flushFull, false
 	}
 	timer := time.NewTimer(b.window)
 	defer timer.Stop()
@@ -140,14 +155,14 @@ func (b *batcher) collect(batch *[]*scoreReq) bool {
 		select {
 		case r, ok := <-b.reqs:
 			if !ok {
-				return true
+				return flushDrain, true
 			}
 			*batch = append(*batch, r)
 		case <-timer.C:
-			return false
+			return flushWindow, false
 		}
 	}
-	return false
+	return flushFull, false
 }
 
 func (b *batcher) target() int {
@@ -164,7 +179,7 @@ func (b *batcher) target() int {
 }
 
 // flush runs one batched forward pass and releases the waiters.
-func (b *batcher) flush(batch []*scoreReq) {
+func (b *batcher) flush(batch []*scoreReq, reason string) {
 	if obs.Enabled() {
 		now := time.Now()
 		for _, r := range batch {
@@ -173,6 +188,7 @@ func (b *batcher) flush(batch []*scoreReq) {
 			}
 		}
 		obsBatchSize.Observe(float64(len(batch)))
+		obsBatchFlushReason.With(reason).Inc()
 	}
 	ins := make([][]float64, len(batch))
 	dsts := make([][]float64, len(batch))

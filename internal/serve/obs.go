@@ -27,6 +27,10 @@ var (
 		"frames coalesced per cross-session DNN forward pass", obs.CountBuckets(1024))
 	obsQueueDepth = obs.NewGauge("serve.queue_depth", "frames",
 		"score requests waiting in the batcher queue (sampled at enqueue)")
+	obsBatchFlushReason = obs.NewCounterFamily("serve.batch_flush_reason", "flushes", "reason",
+		"batched forward passes by why the batch closed: full (covered every "+
+			"pinned session or hit max-batch), window (flush window expired), "+
+			"opportunistic (windowless batcher drained the queue), drain (shutdown flush)")
 	obsQueueWait = obs.NewTimer("serve.queue_wait_seconds",
 		"seconds a frame waits in the batcher queue before its forward pass starts")
 	obsRequestTime = obs.NewTimer("serve.request_seconds",
