@@ -52,6 +52,29 @@ if ! cmp -s "$smoke/decode.dense" "$smoke/decode.sparse"; then
 fi
 echo "backend parity smoke ok (dense == sparse byte-for-byte)"
 
+# Int8 decode smoke: the quantized backend is deterministic but
+# approximate, so its gate is the error budget of docs/QUANT.md — WER
+# within 0.5 absolute points of float — not byte equality. (Top-1
+# agreement, the budget's other half, is pinned by the asr package's
+# TestInt8ErrorBudget under -race above.)
+"$smoke"/asrdecode -scale tiny -model "$smoke/models/tiny-prune90.model" \
+	-backend int8 >"$smoke/decode.int8"
+wer_of() { sed -n 's/^WER: \([0-9.]*\)%.*/\1/p' "$1"; }
+denseWER=$(wer_of "$smoke/decode.dense")
+int8WER=$(wer_of "$smoke/decode.int8")
+if [ -z "$denseWER" ] || [ -z "$int8WER" ]; then
+	echo "int8 smoke: could not parse WER lines (dense '$denseWER', int8 '$int8WER')" >&2
+	exit 1
+fi
+if ! awk -v f="$denseWER" -v q="$int8WER" 'BEGIN {
+	d = q - f; if (d < 0) d = -d
+	exit d > 0.5 ? 1 : 0
+}'; then
+	echo "int8 WER budget broken: float ${denseWER}% vs int8 ${int8WER}% (> 0.5 absolute)" >&2
+	exit 1
+fi
+echo "int8 decode smoke ok (WER float ${denseWER}% vs int8 ${int8WER}%, within 0.5)"
+
 # Adaptive-controller smoke: run the scenario matrix (which includes
 # the noisy 90%-pruned scenario, the paper's worst case) twice at tiny
 # scale and require byte-identical output — the user-visible face of
@@ -102,29 +125,45 @@ if [ -n "$orphans" ]; then
 fi
 echo "docs link audit ok ($(find docs -type f | wc -l) files reachable)"
 
-# Distil the dense-vs-sparse forward benches into BENCH_dnn.json and
-# enforce the acceptance floor: sparse >= 3x faster than dense on the
-# 90%-pruned FC stack.
-go test -run '^$' -bench '^BenchmarkForward' -benchtime=15x ./internal/dnn \
-	>"$smoke/bench.out"
+# Distil the forward benches into BENCH_dnn.json and enforce the
+# acceptance floors: sparse >= 3x faster than dense on the 90%-pruned
+# FC stack, and dense-int8 >= 1.2x faster than float dense on the
+# unpruned stack. The sparse-int8 vs float-sparse ratio at p90 (the
+# int8 plan compiles the CSR hybrid there) is recorded but not gated:
+# both kernels are gather-bound at 10% density, and the hybrid's value
+# is the 4x smaller value array, not speed (docs/QUANT.md). Each bench
+# runs 3 times and the distiller keeps the per-series minimum — the
+# memory-bound int8 kernel is the most sensitive to transient bus
+# contention, and min-of-3 is the standard way to gate on the machine,
+# not the noise.
+go test -run '^$' -bench '^BenchmarkForward' -benchtime=15x -count=3 \
+	./internal/dnn >"$smoke/bench.out"
 cat "$smoke/bench.out"
 awk '
 	/^BenchmarkForward\// {
 		split($1, p, "/"); sub(/-[0-9]+$/, "", p[3])
-		ns[p[2] "/" p[3]] = $3
+		k = p[2] "/" p[3]
+		if (!(k in ns) || $3 + 0 < ns[k] + 0) ns[k] = $3
 	}
-	/^BenchmarkForwardAuto/ { ns["auto/p90"] = $3 }
+	/^BenchmarkForwardAuto/ {
+		if (!("auto/p90" in ns) || $3 + 0 < ns["auto/p90"] + 0) ns["auto/p90"] = $3
+	}
 	END {
 		printf "{\n  \"bench\": \"BenchmarkForward\", \"unit\": \"ns/op\",\n"
 		printf "  \"dense\":  {\"p0\": %s, \"p50\": %s, \"p90\": %s},\n", ns["dense/p0"], ns["dense/p50"], ns["dense/p90"]
 		printf "  \"sparse\": {\"p0\": %s, \"p50\": %s, \"p90\": %s},\n", ns["sparse/p0"], ns["sparse/p50"], ns["sparse/p90"]
+		printf "  \"int8\":   {\"p0\": %s, \"p50\": %s, \"p90\": %s},\n", ns["int8/p0"], ns["int8/p50"], ns["int8/p90"]
 		printf "  \"auto\":   {\"p90\": %s},\n", ns["auto/p90"]
 		speedup = ns["dense/p90"] / ns["sparse/p90"]
-		printf "  \"p90_speedup\": %.2f\n}\n", speedup
-		exit speedup < 3 ? 1 : 0
+		int8p0 = ns["dense/p0"] / ns["int8/p0"]
+		int8p90 = ns["sparse/p90"] / ns["int8/p90"]
+		printf "  \"p90_speedup\": %.2f,\n", speedup
+		printf "  \"p0_int8_speedup\": %.2f,\n", int8p0
+		printf "  \"p90_int8_vs_sparse\": %.2f\n}\n", int8p90
+		exit (speedup < 3 || int8p0 < 1.2) ? 1 : 0
 	}' "$smoke/bench.out" >BENCH_dnn.json ||
-	{ echo "sparse kernel under the 3x floor at p90 (see BENCH_dnn.json)" >&2; exit 1; }
-echo "BENCH_dnn.json: $(grep p90_speedup BENCH_dnn.json)"
+	{ echo "forward bench floors broken: sparse < 3x dense at p90 or int8 < 1.2x dense at p0 (see BENCH_dnn.json)" >&2; exit 1; }
+echo "BENCH_dnn.json: $(grep -E 'p90_speedup|int8' BENCH_dnn.json | tr -d '\n ')"
 
 # Distil the decode benches into BENCH_decode.json and enforce the
 # zero-allocation gate: a warmed pooled session must push frames with
@@ -182,17 +221,22 @@ if ! wait "$server"; then
 fi
 echo "server smoke test ok ($addr)"
 
-# Router smoke test: two multi-model asrserve backends (a dense and a
-# sparse variant of the same pruned model) behind asrrouter, mixed
+# Router smoke test: two multi-model asrserve backends (dense, sparse
+# and int8 variants of the same pruned model) behind asrrouter, mixed
 # per-model traffic from asrload, byte-identical transcripts through
 # the router vs direct, and one SIGHUP hot-swap under live traffic
-# with a clean drain at the end. All binaries are race-built.
+# with a clean drain at the end. All binaries are race-built. The int8
+# variant rides along to pin the quantized backend through the full
+# serving stack: its transcripts differ from the float variants' (by
+# at most the docs/QUANT.md budget) but must be byte-stable across the
+# router tier and the hot-swap like any other.
 cat >"$smoke/models/manifest.json" <<'EOF'
 {
   "default": "tiny-dense",
   "variants": [
     {"name": "tiny-dense",  "model": "tiny-prune90.model", "backend": "dense"},
-    {"name": "tiny-sparse", "model": "tiny-prune90.model", "backend": "sparse"}
+    {"name": "tiny-sparse", "model": "tiny-prune90.model", "backend": "sparse"},
+    {"name": "tiny-int8",   "model": "tiny-prune90.model", "backend": "int8"}
   ]
 }
 EOF
@@ -234,9 +278,9 @@ raddr=$(await_addr "$routerpid" "$smoke/rt.out" "$smoke/rt.err")
 # Mixed-model traffic direct to a backend vs through the router: the
 # per-utterance transcript lines must be byte-for-byte identical.
 "$smoke"/asrload -scale tiny -addr "$addr1" -sessions 8 \
-	-models tiny-dense,tiny-sparse -v >"$smoke/load.direct"
+	-models tiny-dense,tiny-sparse,tiny-int8 -v >"$smoke/load.direct"
 "$smoke"/asrload -scale tiny -addr "$raddr" -sessions 8 \
-	-models tiny-dense,tiny-sparse -v >"$smoke/load.routed"
+	-models tiny-dense,tiny-sparse,tiny-int8 -v >"$smoke/load.routed"
 grep '^utt ' "$smoke/load.direct" >"$smoke/utt.direct"
 grep '^utt ' "$smoke/load.routed" >"$smoke/utt.routed"
 if ! cmp -s "$smoke/utt.direct" "$smoke/utt.routed"; then
@@ -250,7 +294,7 @@ fi
 # (asrload exits non-zero on any failed utterance) and — since the
 # reloaded file holds the same weights — transcripts stay identical.
 "$smoke"/asrload -scale tiny -addr "$raddr" -sessions 8 \
-	-models tiny-dense,tiny-sparse -v >"$smoke/load.swap" &
+	-models tiny-dense,tiny-sparse,tiny-int8 -v >"$smoke/load.swap" &
 loadpid=$!
 sleep 0.3
 kill -HUP "$backend1"

@@ -20,17 +20,19 @@ var (
 
 	// Compiled-plan metrics (plan.go): one compile counter, the
 	// per-FC-layer weight density observed at compile time, and one
-	// kernel timer per backend so the dense/sparse split of forward
-	// time is directly readable from /metrics.
+	// timer family keyed by compiled kernel name so the per-kernel
+	// split of forward time (dense/sparse/int8/sparse_int8) is directly
+	// readable from /metrics. Children are resolved once at plan
+	// compile time (planLayer.timer), so the hot path never touches the
+	// family's map; a new kernel implementation gets its timing series
+	// by existing.
 	obsPlanCompiles = obs.NewCounter("dnn.plan_compiles", "plans",
 		"inference plans compiled (first use and every invalidation)")
 	obsPlanLayerDensity = obs.NewHistogram("dnn.plan_layer_density", "fraction",
 		"per-FC-layer weight density (NNZ/weights) observed at plan compile time",
 		[]float64{0.05, 0.1, 0.2, 1.0 / 3, 0.5, 0.75, 0.9})
-	obsDenseKernelTime = obs.NewTimer("dnn.dense_kernel_seconds",
-		"wall-clock seconds per dense FC kernel evaluation (single-frame or whole batch)")
-	obsSparseKernelTime = obs.NewTimer("dnn.sparse_kernel_seconds",
-		"wall-clock seconds per CSR sparse FC kernel evaluation (single-frame or whole batch)")
+	obsKernelTime = obs.NewTimerFamily("dnn.kernel_seconds", "kernel",
+		"wall-clock seconds per FC kernel evaluation (single-frame or whole batch), keyed by compiled kernel name")
 )
 
 // PublishWeightStats records the network's non-zero weight count and

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/qkern"
 	"repro/internal/sparse"
 )
 
@@ -21,33 +22,45 @@ const (
 	BackendDense Backend = "dense"
 	// BackendSparse forces the CSR sparse kernel for every FC layer.
 	BackendSparse Backend = "sparse"
+	// BackendInt8 computes every FC layer in quantized integer form:
+	// int8 weight codes under a per-layer symmetric scale, int32
+	// accumulators, dequantize-once at the layer boundary. Within the
+	// backend the same density policy as BackendAuto picks, per layer,
+	// the sparse-int8 CSR hybrid (pruned+quantized — Deep Compression's
+	// deployment regime) or the dense int8 matvec. Results are
+	// deterministic but approximate: the backend is bound by the error
+	// budget in docs/QUANT.md (top-1 agreement, WER delta vs float),
+	// not by the float backends' bit-identity.
+	BackendInt8 Backend = "int8"
 )
 
 // ParseBackend validates a -backend flag value.
 func ParseBackend(s string) (Backend, error) {
 	switch Backend(s) {
-	case BackendAuto, BackendDense, BackendSparse:
+	case BackendAuto, BackendDense, BackendSparse, BackendInt8:
 		return Backend(s), nil
 	case "":
 		return BackendAuto, nil
 	}
-	return "", fmt.Errorf("dnn: unknown backend %q (want auto, dense or sparse)", s)
+	return "", fmt.Errorf("dnn: unknown backend %q (want auto, dense, sparse or int8)", s)
 }
 
 // DefaultDensityThreshold is the weight density at or below which
-// BackendAuto selects the sparse kernel. CSR pays an index load and a
-// gathered input read per nonzero, so it only wins once enough of the
-// dense row is skippable; ~1/3 density is comfortably past breakeven
-// on every machine this was measured on, while the paper's 70/80/90%
-// pruning levels sit far below it.
+// BackendAuto selects the sparse kernel (and BackendInt8 the
+// sparse-int8 hybrid). CSR pays an index load and a gathered input
+// read per nonzero, so it only wins once enough of the dense row is
+// skippable; ~1/3 density is comfortably past breakeven on every
+// machine this was measured on, while the paper's 70/80/90% pruning
+// levels sit far below it.
 const DefaultDensityThreshold = 1.0 / 3
 
 // PlanConfig controls kernel selection when compiling a plan.
 type PlanConfig struct {
 	// Backend is the kernel policy (default BackendAuto).
 	Backend Backend
-	// DensityThreshold overrides DefaultDensityThreshold for
-	// BackendAuto (<= 0 selects the default).
+	// DensityThreshold overrides DefaultDensityThreshold for the
+	// density-based per-layer choice under BackendAuto and BackendInt8
+	// (<= 0 selects the default).
 	DensityThreshold float64
 }
 
@@ -62,29 +75,33 @@ func (c PlanConfig) withDefaults() PlanConfig {
 }
 
 // planLayer is one compiled execution step: the original layer plus,
-// for FC layers, the chosen kernel and (when compiled) the CSR view.
+// for FC layers, the chosen kernel (holding the weights in its own
+// layout), the per-kernel timer resolved at compile time, and (when
+// compiled) the CSR view.
 type planLayer struct {
 	layer   Layer
 	fc      *FC           // nil for pooling/renorm layers
 	csr     *sparse.Layer // compiled CSR; non-nil for every masked FC
-	sparse  bool          // kernel choice: true = CSR MatVec
+	kern    Kernel        // the compute implementation; never nil
+	timer   *obs.Timer    // dnn.kernel_seconds child for kern (layer timer for non-FC)
 	density float64       // NNZ / weight count at compile time
 }
 
 // Plan is a compiled inference plan: one immutable kernel schedule
-// built from a snapshot of a Network's weights. A Plan selects, per FC
-// layer, the dense matvec or the CSR sparse kernel (whose
-// column-ordered accumulation makes its output bit-identical to the
-// dense sum), and pre-computes the CSR views so consumers like the
-// accelerator simulator never re-compress a layer.
+// built from a snapshot of a Network's weights. A Plan selects one
+// Kernel per layer — float dense or CSR sparse (bit-identical to each
+// other by construction), or under BackendInt8 their quantized
+// counterparts (deterministic, error-budget-bounded) — and
+// pre-computes the CSR views so consumers like the accelerator
+// simulator never re-compress a layer.
 //
 // Ownership contract (DESIGN.md §6c): a Plan is shared read-only — any
 // number of goroutines may execute it concurrently, each through its
-// own Exec, which owns all mutable scratch. The Plan does not observe
-// later mutations of the source Network; retraining, pruning or
-// quantizing the network invalidates previously compiled plans
-// (Network.Plan recompiles automatically, hand-compiled plans must be
-// rebuilt by the caller).
+// own Exec, which owns all mutable scratch (activations and kernel
+// scratch alike). The Plan does not observe later mutations of the
+// source Network; retraining, pruning or quantizing the network
+// invalidates previously compiled plans (Network.Plan recompiles
+// automatically, hand-compiled plans must be rebuilt by the caller).
 type Plan struct {
 	cfg    PlanConfig
 	layers []planLayer
@@ -105,16 +122,35 @@ func Compile(net *Network, cfg PlanConfig) *Plan {
 			if n := fc.WeightCount(); n > 0 {
 				pl.density = float64(fc.W.NNZ()) / float64(n)
 			}
-			pl.sparse = cfg.Backend == BackendSparse ||
-				(cfg.Backend == BackendAuto && pl.density <= cfg.DensityThreshold)
-			// Compile the CSR view for the sparse kernel, and for every
-			// masked layer regardless of kernel choice: the accelerator
-			// simulator analyzes pruned layers through it (dnnsim reuses
-			// these instead of re-running sparse.FromDense per analysis).
-			if pl.sparse || fc.Mask != nil {
+			// The density policy is shared by auto and int8: sparse
+			// layouts only win below the threshold, in float and in
+			// int8 alike.
+			belowThreshold := pl.density <= cfg.DensityThreshold
+			wantCSR := cfg.Backend == BackendSparse ||
+				(cfg.Backend != BackendDense && belowThreshold)
+			// Compile the CSR view whenever a CSR-shaped kernel needs
+			// it, and for every masked layer regardless of kernel
+			// choice: the accelerator simulator analyzes pruned layers
+			// through it (dnnsim reuses these instead of re-running
+			// sparse.FromDense per analysis).
+			if wantCSR || fc.Mask != nil {
 				pl.csr = sparse.FromDense(fc.W, fc.B)
 			}
+			switch {
+			case cfg.Backend == BackendInt8 && wantCSR:
+				pl.kern = sparseInt8Kernel{qkern.FromCSR(pl.csr)}
+			case cfg.Backend == BackendInt8:
+				pl.kern = int8Kernel{qkern.FromMatrix(fc.W, fc.B)}
+			case wantCSR:
+				pl.kern = csrKernel{pl.csr}
+			default:
+				pl.kern = denseKernel{fc}
+			}
+			pl.timer = obsKernelTime.With(pl.kern.Name())
 			obsPlanLayerDensity.Observe(pl.density)
+		} else {
+			pl.kern = layerKernel{l}
+			pl.timer = obsLayerTime
 		}
 		p.layers = append(p.layers, pl)
 	}
@@ -137,39 +173,32 @@ func (p *Plan) Config() PlanConfig { return p.cfg }
 // returned layer is shared read-only.
 func (p *Plan) Sparse(i int) *sparse.Layer { return p.layers[i].csr }
 
-// Kernels describes the chosen kernel per layer ("dense", "sparse",
-// or "-" for non-FC layers) for logs and tests.
+// Kernels reports the chosen kernel name per layer ("dense", "sparse",
+// "int8", "sparse_int8", or "-" for non-FC layers) for logs and tests.
+// The names come straight from the compiled kernels, so Describe and
+// Kernels can never disagree.
 func (p *Plan) Kernels() []string {
 	out := make([]string, len(p.layers))
-	for i, pl := range p.layers {
-		switch {
-		case pl.fc == nil:
-			out[i] = "-"
-		case pl.sparse:
-			out[i] = "sparse"
-		default:
-			out[i] = "dense"
-		}
+	for i := range p.layers {
+		out[i] = p.layers[i].kern.Name()
 	}
 	return out
 }
 
 // Describe summarizes the plan for startup logs: per-FC kernel and
-// density, e.g. "FC0:dense(1.00) FC1:sparse(0.10)".
+// density, e.g. "FC0:dense(1.00) FC1:sparse_int8(0.10)". Kernel names
+// are the same strings Kernels returns.
 func (p *Plan) Describe() string {
 	s := ""
-	for _, pl := range p.layers {
+	for i := range p.layers {
+		pl := &p.layers[i]
 		if pl.fc == nil {
 			continue
 		}
 		if s != "" {
 			s += " "
 		}
-		kernel := "dense"
-		if pl.sparse {
-			kernel = "sparse"
-		}
-		s += fmt.Sprintf("%s:%s(%.2f)", pl.fc.LayerName, kernel, pl.density)
+		s += fmt.Sprintf("%s:%s(%.2f)", pl.fc.LayerName, pl.kern.Name(), pl.density)
 	}
 	return s
 }
@@ -185,12 +214,23 @@ func (p *Plan) newActivations() [][]float64 {
 	return acts
 }
 
+// newScratch allocates one set of per-layer kernel scratch values
+// (nil entries for kernels that need none).
+func (p *Plan) newScratch() []any {
+	scratch := make([]any, len(p.layers))
+	for i := range p.layers {
+		scratch[i] = p.layers[i].kern.NewScratch()
+	}
+	return scratch
+}
+
 // NewExec returns a fresh executor over the plan. The Exec owns all
-// mutable scratch (single-frame and batched activations), so one plan
-// may be shared by any number of concurrent Execs; each individual
-// Exec is single-goroutine, like the Network methods it replaces.
+// mutable scratch (single-frame and batched activations, plus each
+// kernel's own scratch), so one plan may be shared by any number of
+// concurrent Execs; each individual Exec is single-goroutine, like the
+// Network methods it replaces.
 func (p *Plan) NewExec() *Exec {
-	return &Exec{plan: p, acts: p.newActivations()}
+	return &Exec{plan: p, acts: p.newActivations(), scratch: p.newScratch()}
 }
 
 // Exec executes a compiled plan. It is the per-worker counterpart of
@@ -198,8 +238,9 @@ func (p *Plan) NewExec() *Exec {
 // the plan. The zero value is not usable; obtain one from
 // Plan.NewExec.
 type Exec struct {
-	plan *Plan
-	acts [][]float64 // single-frame activations, acts[0] = input copy
+	plan    *Plan
+	acts    [][]float64 // single-frame activations, acts[0] = input copy
+	scratch []any       // per-layer kernel scratch, scratch[i] for layer i
 
 	// batchActs[r] is the activation set of batch row r, grown on
 	// demand by LogitsBatch.
@@ -209,30 +250,18 @@ type Exec struct {
 // Plan returns the shared plan this executor runs.
 func (e *Exec) Plan() *Plan { return e.plan }
 
-// step evaluates layer i: the CSR kernel when the plan selected it,
-// the layer's own dense Forward otherwise.
-func (p *Plan) step(i int, dst, in []float64) {
-	if pl := &p.layers[i]; pl.sparse {
-		pl.csr.MatVec(dst, in)
-	} else {
-		pl.layer.Forward(dst, in)
-	}
+// step evaluates layer i through its compiled kernel.
+func (e *Exec) step(i int, dst, in []float64) {
+	pl := &e.plan.layers[i]
+	pl.kern.MatVec(e.scratch[i], dst, in)
 }
 
 // stepTimed is step with per-kernel timing, taken only while
 // observation is enabled.
-func (p *Plan) stepTimed(i int, dst, in []float64) {
-	pl := &p.layers[i]
-	timer := obsLayerTime
-	if pl.fc != nil {
-		if pl.sparse {
-			timer = obsSparseKernelTime
-		} else {
-			timer = obsDenseKernelTime
-		}
-	}
-	sp := timer.Start()
-	p.step(i, dst, in)
+func (e *Exec) stepTimed(i int, dst, in []float64) {
+	pl := &e.plan.layers[i]
+	sp := pl.timer.Start()
+	pl.kern.MatVec(e.scratch[i], dst, in)
 	sp.Stop()
 }
 
@@ -246,13 +275,13 @@ func (e *Exec) forwardInto(acts [][]float64, in []float64) []float64 {
 	p := e.plan
 	if !obs.Enabled() {
 		for i := range p.layers {
-			p.step(i, acts[i+1], acts[i])
+			e.step(i, acts[i+1], acts[i])
 		}
 		return acts[len(acts)-1]
 	}
 	sp := obsForwardTime.Start()
 	for i := range p.layers {
-		p.stepTimed(i, acts[i+1], acts[i])
+		e.stepTimed(i, acts[i+1], acts[i])
 	}
 	sp.Stop()
 	obsForwardPasses.Inc()
@@ -267,11 +296,12 @@ func (e *Exec) Logits(in []float64) []float64 {
 
 // LogitsBatch computes pre-softmax outputs for a batch of input frames
 // in one pass. The loop is layer-major — every layer's weights (dense
-// rows or CSR runs) are walked once per batch instead of once per
-// frame — but each row's arithmetic is exactly Logits', so the result
-// is bit-identical to calling Logits(ins[r]) per row regardless of
-// batch size or order. Returned rows alias per-Exec scratch reused by
-// the next batched call; copy to retain.
+// rows, CSR runs, or int8 codes) are walked once per batch instead of
+// once per frame — but each row's arithmetic is exactly Logits', so
+// the result is bit-identical to calling Logits(ins[r]) per row
+// regardless of batch size or order (for every kernel, including the
+// integer ones). Returned rows alias per-Exec scratch reused by the
+// next batched call; copy to retain.
 func (e *Exec) LogitsBatch(ins [][]float64) [][]float64 {
 	p := e.plan
 	for len(e.batchActs) < len(ins) {
@@ -289,21 +319,9 @@ func (e *Exec) LogitsBatch(ins [][]float64) [][]float64 {
 			srcs[r] = e.batchActs[r][i]
 			dsts[r] = e.batchActs[r][i+1]
 		}
-		if pl.sparse {
-			ksp := obsSparseKernelTime.Start()
-			pl.csr.MatVecBatch(dsts, srcs)
-			ksp.Stop()
-		} else {
-			timer := obsLayerTime
-			if pl.fc != nil {
-				timer = obsDenseKernelTime
-			}
-			ksp := timer.Start()
-			for r := range ins {
-				pl.layer.Forward(dsts[r], srcs[r])
-			}
-			ksp.Stop()
-		}
+		ksp := pl.timer.Start()
+		pl.kern.MatVecBatch(e.scratch[i], dsts, srcs)
+		ksp.Stop()
 	}
 	sp.Stop()
 	obsForwardPasses.Add(int64(len(ins)))

@@ -47,7 +47,7 @@ func BenchmarkForward(b *testing.B) {
 		in := make([]float64, net.InDim())
 		mat.NewRNG(3).FillNorm(in, 0, 1)
 		out := make([]float64, net.OutDim())
-		for _, backend := range []dnn.Backend{dnn.BackendDense, dnn.BackendSparse} {
+		for _, backend := range []dnn.Backend{dnn.BackendDense, dnn.BackendSparse, dnn.BackendInt8} {
 			ex := dnn.Compile(net, dnn.PlanConfig{Backend: backend}).NewExec()
 			b.Run(fmt.Sprintf("%s/%s", backend, level.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {

@@ -70,6 +70,7 @@ func TestAllGeneratorsRun(t *testing.T) {
 		{"fig12", func() (*Table, error) { return Fig12(sys) }, 12},
 		{"tail", func() (*Table, error) { return TailLatency(sys) }, 2},
 		{"headline", func() (*Table, error) { return Headline(sys) }, 3},
+		{"int8", func() (*Table, error) { return Int8Table(sys) }, 4},
 	}
 	for _, g := range gens {
 		tab, err := g.fn()
@@ -112,6 +113,69 @@ func TestFig3ConfidenceMonotone(t *testing.T) {
 	}
 	if confs[len(confs)-1] >= confs[0] {
 		t.Fatalf("90%% confidence %v not below baseline %v", confs[len(confs)-1], confs[0])
+	}
+}
+
+// TestInt8TableWithinErrorBudget pins that the int8 experiment's
+// measurements satisfy the backend's acceptance contract at the
+// budgeted pruning levels: top-1 agreement >= 99% and WER within 0.5
+// absolute points of float (docs/QUANT.md). Reading them back out of
+// the rendered table also pins the column layout the notes cite.
+func TestInt8TableWithinErrorBudget(t *testing.T) {
+	sys := tinySys(t)
+	tab, err := Int8Table(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := map[string]bool{"Baseline": true, "70%Pruning": true, "90%Pruning": true}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	var checked int
+	for _, row := range tab.Rows {
+		if !budgeted[row[0]] {
+			continue
+		}
+		checked++
+		if agr := parse(row[1]); agr < 0.99 {
+			t.Errorf("%s: top-1 agreement %v < 0.99", row[0], row[1])
+		}
+		fWER, qWER := parse(row[6]), parse(row[7])
+		if d := qWER - fWER; d > 0.5 || d < -0.5 {
+			t.Errorf("%s: WER delta %.2f outside +-0.5 (float %v, int8 %v)", row[0], d, row[6], row[7])
+		}
+	}
+	if checked != 3 {
+		t.Fatalf("checked %d budgeted levels, want 3", checked)
+	}
+}
+
+// TestFig3Int8ColumnsAppended pins that the int8 extension appended its
+// columns at the end: the confidence cell stays at index 3 (the
+// contract TestFig3ConfidenceMonotone and downstream parsers rely on)
+// and the trailing agreement cell is a fraction.
+func TestFig3Int8ColumnsAppended(t *testing.T) {
+	sys := tinySys(t)
+	tab, err := Fig3(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Header[3]; got != "confidence" {
+		t.Fatalf("header[3] = %q, want confidence", got)
+	}
+	last := len(tab.Header) - 1
+	if got := tab.Header[last]; got != "int8 agree" {
+		t.Fatalf("last header %q, want int8 agree", got)
+	}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[last], 64)
+		if err != nil || v < 0 || v > 1 {
+			t.Fatalf("row %s: int8 agree cell %q not a fraction", row[0], row[last])
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TimerFamily is a set of per-label timers registered in the
+// catalogue under one name — the Timer counterpart of CounterFamily.
+// It exists for dimensions whose values are decided by runtime policy
+// rather than fixed at instrumentation time: the compiled-plan kernel
+// names are the motivating case (a new kernel implementation gets its
+// timing series by existing, with no new metric registration and no
+// docs/OBSERVABILITY.md churn). The family owns the registered name;
+// children are created on first With(value) and share the registry's
+// enabled flag, so a disabled family costs the same one atomic load
+// per Start as every other timer.
+type TimerFamily struct {
+	meta
+	label string
+
+	mu       sync.RWMutex
+	children map[string]*Timer
+}
+
+// NewTimerFamilyIn registers (or returns the existing) timer family
+// in r. label names the dimension the children are keyed by (e.g.
+// "kernel"). Children are histograms of seconds with LatencyBuckets
+// bounds, like every other Timer.
+func NewTimerFamilyIn(r *Registry, name, label, help string) *TimerFamily {
+	f := &TimerFamily{
+		meta:     meta{name: name, unit: "seconds", help: help, on: &r.enabled},
+		label:    label,
+		children: map[string]*Timer{},
+	}
+	return register(r, f)
+}
+
+// NewTimerFamily registers the family in the Default registry.
+func NewTimerFamily(name, label, help string) *TimerFamily {
+	return NewTimerFamilyIn(Default, name, label, help)
+}
+
+// Label returns the name of the dimension children are keyed by.
+func (f *TimerFamily) Label() string { return f.label }
+
+// With returns the child timer for the given label value, creating it
+// on first use. Hot paths should resolve the child once (e.g. at plan
+// compile time) and hold the *Timer; the child's Start/Stop path is
+// identical to a standalone timer's. Children live inside the family
+// — they are not separately registered, so the catalogue sees one
+// name for the whole dimension.
+func (f *TimerFamily) With(value string) *Timer {
+	f.mu.RLock()
+	t := f.children[value]
+	f.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t := f.children[value]; t != nil {
+		return t
+	}
+	bounds := LatencyBuckets()
+	t = &Timer{h: &Histogram{
+		meta: meta{
+			name: f.name + "{" + f.label + "=" + value + "}",
+			unit: "seconds", help: f.help, on: f.on,
+		},
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}}
+	f.children[value] = t
+	return t
+}
+
+// Timers returns a point-in-time copy of the children, keyed by label
+// value.
+func (f *TimerFamily) Timers() map[string]*Timer {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]*Timer, len(f.children))
+	for v, t := range f.children {
+		out[v] = t
+	}
+	return out
+}
+
+// Count returns the total observation count over all children.
+func (f *TimerFamily) Count() int64 {
+	var n int64
+	for _, t := range f.Timers() {
+		n += t.Histogram().Count()
+	}
+	return n
+}
+
+func (f *TimerFamily) snapshot() map[string]any {
+	values := map[string]any{}
+	for v, t := range f.Timers() {
+		values[v] = t.Histogram().snapshot()
+	}
+	return map[string]any{
+		"type": "timer_family", "unit": f.unit, "help": f.help,
+		"label": f.label, "count": f.Count(), "values": values,
+	}
+}
+
+// sortedKeys returns the children's label values in sorted order, for
+// the text readout.
+func (f *TimerFamily) sortedKeys() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -72,6 +72,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 				detail += fmt.Sprintf("%s=%d", k, values[k])
 			}
 			fmt.Fprintf(tw, "%s\tfamily\t%d\t%s\t%s\n", v.Name(), v.Total(), v.Unit(), detail)
+		case *TimerFamily:
+			detail := ""
+			timers := v.Timers()
+			for _, k := range v.sortedKeys() {
+				if detail != "" {
+					detail += " "
+				}
+				h := timers[k].Histogram()
+				detail += fmt.Sprintf("%s{n=%d p99<=%.4g}", k, h.Count(), h.Quantile(0.99))
+			}
+			fmt.Fprintf(tw, "%s\ttimer_family\tn=%d\t%s\t%s\n", v.Name(), v.Count(), v.Unit(), detail)
 		default:
 			fmt.Fprintf(tw, "%s\t?\t\t%s\t\n", m.Name(), m.Unit())
 		}

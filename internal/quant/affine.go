@@ -1,0 +1,83 @@
+package quant
+
+import (
+	"math"
+
+	"repro/internal/dnn"
+	"repro/internal/qkern"
+)
+
+// AffineLayer describes the symmetric affine int8 quantization of one
+// FC layer: the per-layer scale and zero point, and the error the int8
+// grid introduces over the layer's weights.
+type AffineLayer struct {
+	Name        string
+	Scale       float64
+	ZeroPoint   int32
+	ActiveCount int     // non-zero weights (pruned zeros quantize to code 0 exactly)
+	MSE         float64 // mean squared quantization error over active weights
+	MaxAbsErr   float64 // worst-case per-weight error (<= Scale: half a step of rounding plus half a step of carried feedback residual)
+	Int8Bits    int64   // storage for the codes (8 bits per stored weight)
+}
+
+// AffineReport summarizes the affine int8 quantization of a network —
+// the parameters the int8 inference backend computes per layer, in
+// report form.
+type AffineReport struct {
+	Layers        []AffineLayer
+	TotalInt8Bits int64 // codes + one FP64 scale per layer
+}
+
+// Affine computes, without modifying the network, the per-layer
+// symmetric scale + zero point the int8 backend uses, and the weight
+// error the grid introduces. It is the report face of the same
+// arithmetic the compiled int8 kernels run (internal/qkern is the
+// single source of truth for both): dnn.Compile with BackendInt8
+// quantizes each FC layer with exactly these parameters.
+//
+// Unlike Quantize's codebooks, the affine pass covers every FC layer
+// — frozen layers included — because the int8 backend computes every
+// layer in integer form; a layer the codebook pass would skip still
+// needs a scale to run. docs/QUANT.md contrasts the two passes.
+func Affine(net *dnn.Network) AffineReport {
+	rep := AffineReport{}
+	for _, fc := range net.FCs() {
+		p := qkern.ParamsOf(fc.W.Data)
+		la := AffineLayer{
+			Name:      fc.LayerName,
+			Scale:     p.Scale,
+			ZeroPoint: p.ZeroPoint,
+		}
+		// Quantize row-wise with the same error-feedback rounding the
+		// compiled kernels use, so the report describes the codes the
+		// int8 backend actually runs.
+		codes := make([]int8, len(fc.W.Data))
+		cols := fc.W.Cols
+		for r := 0; r < fc.W.Rows; r++ {
+			p.QuantizeRow(codes[r*cols:(r+1)*cols], fc.W.Data[r*cols:(r+1)*cols])
+		}
+		var stored int64
+		for i, w := range fc.W.Data {
+			if w == 0 && (fc.Mask == nil || !fc.Mask[i]) {
+				continue
+			}
+			la.ActiveCount++
+			d := p.Dequantize(codes[i]) - w
+			la.MSE += d * d
+			if a := math.Abs(d); a > la.MaxAbsErr {
+				la.MaxAbsErr = a
+			}
+		}
+		if la.ActiveCount > 0 {
+			la.MSE /= float64(la.ActiveCount)
+		}
+		// The dense int8 kernel stores every code; the sparse hybrid
+		// only the CSR nonzeros. Report the denser of the two so the
+		// total is an upper bound either way.
+		stored = int64(len(codes)) * 8
+		la.Int8Bits = stored
+		rep.Layers = append(rep.Layers, la)
+		rep.TotalInt8Bits += stored + 64
+	}
+	return rep
+}

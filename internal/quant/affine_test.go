@@ -1,0 +1,183 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/mat"
+	"repro/internal/pruning"
+)
+
+// retrainedNet builds a prune-then-retrained network — the state the
+// Deep Compression pipeline quantizes — with frozen FC0 intact.
+func retrainedNet(t *testing.T, target float64) *dnn.Network {
+	t.Helper()
+	net := buildNet(11)
+	rng := mat.NewRNG(12)
+	samples := make([]dnn.Sample, 48)
+	for i := range samples {
+		in := make([]float64, net.InDim())
+		rng.FillNorm(in, 0, 1)
+		samples[i] = dnn.Sample{Input: in, Label: i % net.OutDim()}
+	}
+	res, err := pruning.PruneAndRetrain(net, samples, pruning.Config{
+		Target:  target,
+		Retrain: dnn.TrainConfig{Epochs: 1, BatchSize: 8, LearningRate: 0.02, Seed: 13},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Net
+}
+
+// TestAffineReportShape pins the affine pass's coverage: every FC
+// layer gets a report entry (frozen ones included — the int8 backend
+// runs them in integer form too), with a zero zero-point and a
+// max-abs error within half a step.
+func TestAffineReportShape(t *testing.T) {
+	net := buildNet(10)
+	rep := Affine(net)
+	fcs := net.FCs()
+	if len(rep.Layers) != len(fcs) {
+		t.Fatalf("report covers %d layers, want %d (all FCs)", len(rep.Layers), len(fcs))
+	}
+	for i, la := range rep.Layers {
+		if la.Name != fcs[i].LayerName {
+			t.Fatalf("layer %d: name %q, want %q", i, la.Name, fcs[i].LayerName)
+		}
+		if la.ZeroPoint != 0 {
+			t.Fatalf("layer %s: zero point %d, want 0 (symmetric)", la.Name, la.ZeroPoint)
+		}
+		if la.Scale <= 0 {
+			t.Fatalf("layer %s: scale %v", la.Name, la.Scale)
+		}
+		// Error-feedback rounding bounds each weight's error by a full
+		// step: half a step of rounding plus half a step of carried
+		// residual.
+		if la.MaxAbsErr > la.Scale+1e-15 {
+			t.Fatalf("layer %s: max abs error %v exceeds step %v", la.Name, la.MaxAbsErr, la.Scale)
+		}
+		if la.MSE < 0 || la.MSE > la.Scale*la.Scale {
+			t.Fatalf("layer %s: MSE %v out of range", la.Name, la.MSE)
+		}
+	}
+	if rep.TotalInt8Bits <= 0 {
+		t.Fatal("TotalInt8Bits not accumulated")
+	}
+}
+
+// TestAffineDoesNotMutate pins that the affine pass is a pure report:
+// the network's weights are untouched.
+func TestAffineDoesNotMutate(t *testing.T) {
+	net := retrainedNet(t, 0.8)
+	before := append([]float64(nil), net.FCs()[1].W.Data...)
+	Affine(net)
+	after := net.FCs()[1].W.Data
+	for i := range before {
+		if math.Float64bits(before[i]) != math.Float64bits(after[i]) {
+			t.Fatalf("Affine mutated weight %d", i)
+		}
+	}
+}
+
+// TestAffineDeterministic pins that the report is a pure function of
+// the weights: two passes over the same network are bit-identical.
+func TestAffineDeterministic(t *testing.T) {
+	net := retrainedNet(t, 0.8)
+	a, b := Affine(net), Affine(net)
+	if len(a.Layers) != len(b.Layers) || a.TotalInt8Bits != b.TotalInt8Bits {
+		t.Fatal("affine reports differ in shape across runs")
+	}
+	for i := range a.Layers {
+		la, lb := a.Layers[i], b.Layers[i]
+		if math.Float64bits(la.Scale) != math.Float64bits(lb.Scale) ||
+			la.ZeroPoint != lb.ZeroPoint || la.ActiveCount != lb.ActiveCount ||
+			math.Float64bits(la.MSE) != math.Float64bits(lb.MSE) ||
+			math.Float64bits(la.MaxAbsErr) != math.Float64bits(lb.MaxAbsErr) {
+			t.Fatalf("affine layer %s differs across runs", la.Name)
+		}
+	}
+}
+
+// TestQuantizeDeterministic pins the codebook pass: same network +
+// bits ⇒ bit-identical codebooks and reports across runs (kmeans1D is
+// deterministically initialized by linear spread, so there is no
+// hidden seed to drift).
+func TestQuantizeDeterministic(t *testing.T) {
+	net := retrainedNet(t, 0.8)
+	q1, r1, err := Quantize(net, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, r2, err := Quantize(net, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Layers) != len(r2.Layers) ||
+		r1.TotalHuffmanBits != r2.TotalHuffmanBits || r1.TotalFixedBits != r2.TotalFixedBits {
+		t.Fatal("quantize reports differ in shape/totals across runs")
+	}
+	for i := range r1.Layers {
+		l1, l2 := r1.Layers[i], r2.Layers[i]
+		if l1.Name != l2.Name || l1.ActiveCount != l2.ActiveCount ||
+			math.Float64bits(l1.MSE) != math.Float64bits(l2.MSE) ||
+			l1.HuffmanBits != l2.HuffmanBits || len(l1.Codebook) != len(l2.Codebook) {
+			t.Fatalf("layer %s report differs across runs", l1.Name)
+		}
+		for c := range l1.Codebook {
+			if math.Float64bits(l1.Codebook[c]) != math.Float64bits(l2.Codebook[c]) {
+				t.Fatalf("layer %s codebook entry %d differs across runs", l1.Name, c)
+			}
+		}
+	}
+	f1, f2 := q1.FCs(), q2.FCs()
+	for li := range f1 {
+		for i := range f1[li].W.Data {
+			if math.Float64bits(f1[li].W.Data[i]) != math.Float64bits(f2[li].W.Data[i]) {
+				t.Fatalf("layer %d weight %d differs across runs", li, i)
+			}
+		}
+	}
+}
+
+// TestQuantizeLeavesFrozenAndPrunedUntouched is the regression pinned
+// by the int8 work: on a prune-retrained net, Quantize must leave
+// frozen layers bit-identical and every masked-out weight at exactly
+// zero — the invariants the sparse-int8 hybrid's shared CSR index
+// structure relies on.
+func TestQuantizeLeavesFrozenAndPrunedUntouched(t *testing.T) {
+	net := retrainedNet(t, 0.8)
+	q, _, err := Quantize(net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkedFrozen, checkedPruned bool
+	orig, quant := net.FCs(), q.FCs()
+	for li := range orig {
+		of, qf := orig[li], quant[li]
+		if !of.Trainable {
+			checkedFrozen = true
+			for i := range of.W.Data {
+				if math.Float64bits(of.W.Data[i]) != math.Float64bits(qf.W.Data[i]) {
+					t.Fatalf("frozen layer %s weight %d changed", of.LayerName, i)
+				}
+			}
+			continue
+		}
+		if qf.Mask == nil {
+			continue
+		}
+		for i, keep := range qf.Mask {
+			if !keep {
+				checkedPruned = true
+				if qf.W.Data[i] != 0 {
+					t.Fatalf("layer %s: pruned weight %d resurrected to %v", qf.LayerName, i, qf.W.Data[i])
+				}
+			}
+		}
+	}
+	if !checkedFrozen || !checkedPruned {
+		t.Fatalf("test vacuous: frozen=%v pruned=%v", checkedFrozen, checkedPruned)
+	}
+}

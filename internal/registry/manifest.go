@@ -16,7 +16,7 @@ import (
 type VariantSpec struct {
 	Name    string `json:"name"`
 	Model   string `json:"model"`
-	Backend string `json:"backend,omitempty"` // auto (default), dense, or sparse
+	Backend string `json:"backend,omitempty"` // auto (default), dense, sparse, or int8
 }
 
 // Manifest is the multi-model configuration cmd/asrserve loads with
@@ -26,7 +26,8 @@ type VariantSpec struct {
 //	  "default": "tiny-dense",
 //	  "variants": [
 //	    {"name": "tiny-dense",  "model": "models/tiny-prune90.model", "backend": "dense"},
-//	    {"name": "tiny-sparse", "model": "models/tiny-prune90.model", "backend": "sparse"}
+//	    {"name": "tiny-sparse", "model": "models/tiny-prune90.model", "backend": "sparse"},
+//	    {"name": "tiny-int8",   "model": "models/tiny-prune90.model", "backend": "int8"}
 //	  ]
 //	}
 //

@@ -215,7 +215,8 @@ func TestManifestLoadAndBuild(t *testing.T) {
   "default": "b-sparse",
   "variants": [
     {"name": "a-dense",  "model": "a.model", "backend": "dense"},
-    {"name": "b-sparse", "model": "b.model", "backend": "sparse"}
+    {"name": "b-sparse", "model": "b.model", "backend": "sparse"},
+    {"name": "b-int8",   "model": "b.model", "backend": "int8"}
   ]
 }`
 	path := filepath.Join(dir, "manifest.json")
@@ -235,12 +236,16 @@ func TestManifestLoadAndBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Len() != 2 || r.Default() != "b-sparse" {
+	if r.Len() != 3 || r.Default() != "b-sparse" {
 		t.Errorf("built registry: Len=%d Default=%q", r.Len(), r.Default())
 	}
 	v, ok := r.Resolve("a-dense")
 	if !ok || v.Backend() != dnn.BackendDense {
 		t.Errorf("a-dense variant: %v, %v", v, ok)
+	}
+	q, ok := r.Resolve("b-int8")
+	if !ok || q.Backend() != dnn.BackendInt8 {
+		t.Errorf("b-int8 variant: %v, %v", q, ok)
 	}
 }
 

@@ -65,9 +65,10 @@ type Config struct {
 	Net *dnn.Network
 	// Backend selects the scoring kernels compiled for Net (ignored
 	// when Registry is set): auto (default; CSR sparse for pruned
-	// layers under the density threshold), dense, or sparse.
-	// Transcripts are bit-identical across backends; only the
-	// forward-pass cost changes.
+	// layers under the density threshold), dense, sparse, or int8
+	// (quantized integer kernels — deterministic, error-budget-bounded
+	// per docs/QUANT.md). Transcripts are bit-identical across the
+	// float backends; only the forward-pass cost changes.
 	Backend dnn.Backend
 	// Decoder is the shared read-only search graph wrapper; any
 	// number of sessions decode against it concurrently. All variants

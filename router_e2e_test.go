@@ -41,15 +41,20 @@ func TestRoutedDecodeBitIdenticalToDirect(t *testing.T) {
 	utts := world.SynthesizeSetNoisy(8, scale.WordsPerUtt, 2002, scale.TestNoiseScale)
 
 	// Each backend gets its own registry instance (separate processes
-	// in production) with the same two variants: the same weights
-	// compiled dense and sparse — transcripts must agree bit for bit
-	// across variants AND across backends.
+	// in production) with the same three variants: the same weights
+	// compiled dense, sparse, and int8. The float variants agree bit
+	// for bit with each other; int8 differs from float but is itself
+	// deterministic — so for every variant, routed must equal direct
+	// bit for bit across backend processes.
 	newRegistry := func() *registry.Registry {
 		r := registry.New()
 		if _, err := r.Register("w-dense", "", net.Clone(), dnn.BackendDense); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := r.Register("w-sparse", "", net.Clone(), dnn.BackendSparse); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Register("w-int8", "", net.Clone(), dnn.BackendInt8); err != nil {
 			t.Fatal(err)
 		}
 		return r
@@ -124,7 +129,7 @@ func TestRoutedDecodeBitIdenticalToDirect(t *testing.T) {
 		return rep, err
 	}
 
-	models := []string{"w-dense", "w-sparse"}
+	models := []string{"w-dense", "w-sparse", "w-int8"}
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*len(utts))
 	for i, u := range utts {
