@@ -12,7 +12,7 @@
 //	asrserve -model models/small-prune90.model [-scale small]
 //	asrserve -manifest models/manifest.json    [-scale small]
 //	         [-addr localhost:8093] [-store unbounded|nbest|accurate]
-//	         [-beam 15] [-n 0] [-backend auto|dense|sparse|int8]
+//	         [-beam 15] [-n 0] [-backend auto|dense|sparse|bsr|int8]
 //	         [-batch-window 1ms] [-max-batch 0]
 //	         [-max-sessions 64] [-queue 0] [-idle-timeout 30s]
 //	         [-deadline 2m] [-drain-timeout 30s]
@@ -85,7 +85,7 @@ func main() {
 	storeKind := flag.String("store", "unbounded", "hypothesis store: unbounded, nbest or accurate")
 	beam := flag.Float64("beam", asr.DefaultBeam, "beam width in -log space")
 	n := flag.Int("n", 0, "N-best bound for -store nbest/accurate (0 = scale default)")
-	backendFlag := flag.String("backend", "auto", "acoustic-scoring kernels for -model: auto, dense, sparse or int8")
+	backendFlag := flag.String("backend", "auto", "acoustic-scoring kernels for -model: auto, dense, sparse, bsr or int8")
 	batchWindow := flag.Duration("batch-window", time.Millisecond, "cross-session batching window (negative = opportunistic only)")
 	maxBatch := flag.Int("max-batch", 0, "max frames per batched forward pass (0 = max-sessions)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap; excess starts are rejected")

@@ -1,6 +1,7 @@
 // Command asrtrain builds the synthetic world, trains the baseline
-// acoustic DNN and derives the pruned models, then writes all of them
-// to a directory for later use by asrdecode.
+// acoustic DNN and derives the pruned models (unstructured 70/80/90%
+// plus a block-pruned 8×8 variant at 90%), then writes all of them to
+// a directory for later use by asrdecode.
 //
 // Usage:
 //
@@ -59,6 +60,20 @@ func main() {
 		rep := sys.PruneReports[lv]
 		log.Printf("pruning %d%%: quality %.3f, global %.1f%%", lv, rep.Quality, 100*rep.GlobalPruning)
 	}
+
+	// A block-pruned (8×8 tiles) 90% model rides along so asrdecode and
+	// the registry can exercise the bsr backend without rebuilding the
+	// training pipeline (docs/BLOCK.md).
+	bnet, brep, err := sys.BlockModel(90, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(*out, fmt.Sprintf("%s-block90.model", scale.Name))
+	if err := bnet.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (block 8x8, quality %.3f, global %.1f%%)",
+		path, brep.Quality, 100*brep.GlobalPruning)
 }
 
 func scaleByName(name string) (asr.Scale, error) {

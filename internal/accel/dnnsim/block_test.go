@@ -1,0 +1,184 @@
+package dnnsim
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/mat"
+	"repro/internal/pruning"
+)
+
+// blockPruned returns a clone of net block-pruned to target with edge b.
+func blockPruned(t *testing.T, seed int64, target float64, block int) (*Report, Config) {
+	t.Helper()
+	net := buildNet(seed)
+	q, err := pruning.CalibrateBlockQuality(net, block, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruning.BlockPrune(net, q, block)
+	cfg := smallConfig()
+	rep, err := Analyze(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, cfg
+}
+
+func TestBlockPathSelected(t *testing.T) {
+	rep, _ := blockPruned(t, 1, 0.9, 4)
+	sawBlock := false
+	for _, l := range rep.Layers {
+		if l.Block == 4 {
+			sawBlock = true
+			if !l.Sparse {
+				t.Fatalf("layer %s: block path not marked sparse", l.Name)
+			}
+		}
+	}
+	if !sawBlock {
+		t.Fatal("no layer ran the block lane model")
+	}
+}
+
+// TestBlockUtilizationBeatsUnstructured is the model's headline claim:
+// at equal global sparsity, the block layout's whole-tile lanes avoid
+// the index-gather bank conflicts, so modelled FP utilization is at
+// least as high as the unstructured layout's.
+func TestBlockUtilizationBeatsUnstructured(t *testing.T) {
+	for _, target := range []float64{0.7, 0.9} {
+		net := buildNet(2)
+		q, err := pruning.CalibrateQuality(net, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unstructured := net.Clone()
+		pruning.Prune(unstructured, q)
+		uRep, err := Analyze(unstructured, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		bq, err := pruning.CalibrateBlockQuality(net, 4, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked := net.Clone()
+		pruning.BlockPrune(blocked, bq, 4)
+		bRep, err := Analyze(blocked, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if bRep.Utilization < uRep.Utilization {
+			t.Fatalf("target %.0f%%: block utilization %.3f below unstructured %.3f",
+				100*target, bRep.Utilization, uRep.Utilization)
+		}
+	}
+}
+
+// TestBlockStallsZeroWhenBanksAlign pins the determinism claim: with
+// the tile edge dividing both the lane count and the bank count, tiles
+// in a group cover disjoint or port-coverable bank ranges, so the block
+// path has zero data-dependent stall cycles — utilization is purely a
+// function of shape.
+func TestBlockStallsZeroWhenBanksAlign(t *testing.T) {
+	rep, cfg := blockPruned(t, 3, 0.9, 4)
+	if cfg.Lanes()%16 != 0 || cfg.IOBanks%4 != 0 {
+		t.Fatalf("config no longer aligned; update the test premise")
+	}
+	for _, l := range rep.Layers {
+		if l.Block == 0 {
+			continue
+		}
+		if l.StallCycles != 0 {
+			t.Fatalf("layer %s: %d stall cycles on aligned block config", l.Name, l.StallCycles)
+		}
+	}
+}
+
+// TestBlockIndexReadsPerTile pins the index-amortization accounting:
+// the block path reads one index per stored tile, b² weights per tile,
+// and b I/O words per tile.
+func TestBlockIndexReadsPerTile(t *testing.T) {
+	rep, _ := blockPruned(t, 4, 0.8, 4)
+	for _, l := range rep.Layers {
+		if l.Block == 0 {
+			continue
+		}
+		if l.IndexReads == 0 {
+			t.Fatalf("layer %s: no index reads", l.Name)
+		}
+		if l.WeightReads != l.IndexReads*int64(l.Block*l.Block) {
+			t.Fatalf("layer %s: weight reads %d != tiles %d x %d",
+				l.Name, l.WeightReads, l.IndexReads, l.Block*l.Block)
+		}
+		if l.IOReads != l.IndexReads*int64(l.Block) {
+			t.Fatalf("layer %s: IO reads %d != tiles %d x %d",
+				l.Name, l.IOReads, l.IndexReads, l.Block)
+		}
+	}
+}
+
+// TestBlockCycleLowerBound: cycles can never be below what streaming
+// all stored tile slots at full lane width would take.
+func TestBlockCycleLowerBound(t *testing.T) {
+	rep, cfg := blockPruned(t, 5, 0.7, 8)
+	for _, l := range rep.Layers {
+		if l.Block == 0 {
+			continue
+		}
+		storedSlots := l.IndexReads * int64(l.Block*l.Block)
+		lower := (storedSlots + int64(cfg.Lanes()) - 1) / int64(cfg.Lanes())
+		if l.Cycles < lower {
+			t.Fatalf("layer %s: %d cycles below streaming bound %d", l.Name, l.Cycles, lower)
+		}
+	}
+}
+
+// TestBlockModelSmallerThanUnstructured pins ModelBits: at equal
+// sparsity the per-tile index amortization must shrink the modelled
+// storage footprint relative to the unstructured CSR form. A freshly
+// initialized net is degenerate for this property — i.i.d. weights
+// give every tile nearly the same RMS, so calibration kills whole
+// layers at once and the output sentinels scatter into mostly-empty
+// tiles. Trained networks have wide per-tile magnitude spread; the
+// test reproduces that cheaply with random per-tile gains, and keeps
+// the output layer a realistic ~10% of the weights (it is 3-4% at the
+// experiment scales) so sentinel storage stays proportionate.
+func TestBlockModelSmallerThanUnstructured(t *testing.T) {
+	topo := dnn.Topology{FeatDim: 8, Context: 1, Hidden: 192, PoolGroup: 4, HiddenBlocks: 2, Senones: 32}
+	net := topo.Build(mat.NewRNG(6))
+	gainRNG := mat.NewRNG(11)
+	for _, fc := range net.FCs() {
+		if !fc.Trainable {
+			continue
+		}
+		w := fc.W
+		for br := 0; br*8 < w.Rows; br++ {
+			for bc := 0; bc*8 < w.Cols; bc++ {
+				gain := 0.1 + 2*gainRNG.Float64()
+				for r := br * 8; r < (br+1)*8 && r < w.Rows; r++ {
+					row := w.Row(r)
+					for c := bc * 8; c < (bc+1)*8 && c < w.Cols; c++ {
+						row[c] *= gain
+					}
+				}
+			}
+		}
+	}
+	q, _ := pruning.CalibrateQuality(net, 0.9)
+	unstructured := net.Clone()
+	pruning.Prune(unstructured, q)
+	uRep, _ := Analyze(unstructured, smallConfig())
+
+	bq, _ := pruning.CalibrateBlockQuality(net, 8, 0.9)
+	blocked := net.Clone()
+	pruning.BlockPrune(blocked, bq, 8)
+	bRep, _ := Analyze(blocked, smallConfig())
+
+	if bRep.ModelBits >= uRep.ModelBits {
+		t.Fatalf("block model %d bits not below unstructured %d at equal sparsity",
+			bRep.ModelBits, uRep.ModelBits)
+	}
+}

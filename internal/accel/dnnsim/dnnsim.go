@@ -6,7 +6,10 @@
 // M non-consecutive inputs per cycle through the I/O buffer; when more
 // than P of the M indices map to the same bank the pipeline stalls —
 // the mechanism behind the paper's measured FP-throughput drops of
-// 11%/18%/33% at 70/80/90% pruning.
+// 11%/18%/33% at 70/80/90% pruning. Block-pruned layers take a third
+// path (analyzeBlock): the lanes execute whole dense micro-tiles whose
+// inputs are consecutive words, so utilization is a function of the
+// block shape instead of the nonzero pattern.
 //
 // Because the weight and index patterns are fixed per model, the
 // per-layer cycle counts are input-independent: Analyze runs the bank
@@ -68,6 +71,7 @@ func (c Config) Lanes() int { return c.Tiles * c.MulsPerTile }
 type LayerReport struct {
 	Name        string
 	Sparse      bool
+	Block       int   // tile edge when the layer ran the block path; 0 otherwise
 	MACs        int64 // useful multiply-accumulates
 	Cycles      int64
 	StallCycles int64 // I/O bank-conflict stalls
@@ -115,9 +119,10 @@ func (r *Report) EnergyPerFrame() energy.Account {
 }
 
 // Analyze runs the timing model over every FC layer of the network.
-// Layers with a pruning mask (or any zero weights from pruning) are
-// executed through the sparse path; dense layers through the streaming
-// path. Pooling/normalization layers contribute negligibly (the paper:
+// Layers with a block-pruning mask run the block lane model
+// (analyzeBlock, over the plan's BSR view); other masked layers run the
+// index-gather sparse path; dense layers the streaming path.
+// Pooling/normalization layers contribute negligibly (the paper:
 // "the vast majority of the computations for MLPs come from FC
 // layers") and are folded into the pipeline as one cycle per output.
 //
@@ -141,7 +146,16 @@ func Analyze(net *dnn.Network, cfg Config) (*Report, error) {
 			continue
 		}
 		var lr LayerReport
-		if fc.Mask != nil {
+		if fc.Mask != nil && fc.BlockSize > 0 {
+			bl := plan.BSR(i)
+			if bl == nil {
+				// a plan compiled under a non-default config may skip the
+				// BSR view; fall back to compressing here
+				bl = sparse.FromDenseBSR(fc.W, fc.B, fc.BlockSize)
+			}
+			lr = analyzeBlock(fc.LayerName, bl, cfg)
+			bits += bl.StorageBits(cfg.WeightBits, cfg.IndexBits)
+		} else if fc.Mask != nil {
 			sl := plan.Sparse(i)
 			if sl == nil {
 				// a plan compiled under a non-default config may skip the
@@ -293,6 +307,86 @@ func analyzeSparse(name string, l *sparse.Layer, cfg Config) LayerReport {
 		WeightReads: macs,
 		IndexReads:  macs,
 		IOReads:     macs,
+		Utilization: safeDiv(macs, cycles*int64(m)),
+	}
+}
+
+// analyzeBlock is the lane-utilization model for block-pruned layers.
+// The lanes see whole tiles, not individual weights: a stored b×b tile
+// is a dense micro-job whose b inputs are *consecutive* I/O-buffer
+// words, so the index-driven gather that causes analyzeSparse's
+// data-dependent bank conflicts degenerates to short streaming reads.
+// Utilization therefore becomes a function of the block shape — how b²
+// divides the lane count and how full the edge tiles are — rather than
+// of the per-row nonzero pattern; that determinism is exactly the
+// "predictable speedup" structured pruning buys.
+//
+// Lane packing: groups of floor(Lanes/b²) whole tiles issue per cycle
+// (a tile is never split across groups — its adder tree reduces in
+// place); when b² exceeds the lane count a tile takes ceil(b²/Lanes)
+// cycles. Each tile in a group loads its b consecutive input words
+// from b consecutive banks; a group stalls only when the tiles' bank
+// ranges overlap beyond the ports-per-bank budget.
+func analyzeBlock(name string, l *sparse.BSR, cfg Config) LayerReport {
+	m := cfg.Lanes()
+	banks := cfg.IOBanks
+	ports := cfg.IOReadPorts
+	b := l.Block
+	area := b * b
+	perTileCycles := int64(1)
+	tilesPerGroup := m / area
+	if tilesPerGroup < 1 {
+		tilesPerGroup = 1
+		perTileCycles = int64((area + m - 1) / m)
+	}
+
+	// Tile extents clipped to the matrix: edge tiles execute padding
+	// slots too, but only the real entries count as useful MACs.
+	type tile struct{ c0, useful int }
+	tiles := make([]tile, 0, l.BlockCount())
+	for br := 0; br < l.BlockRows(); br++ {
+		rn := min(b, l.Rows-br*b)
+		for k := l.RowPtr[br]; k < l.RowPtr[br+1]; k++ {
+			c0 := int(l.BlockCols[k]) * b
+			cn := min(b, l.ColsDim-c0)
+			tiles = append(tiles, tile{c0, rn * cn})
+		}
+	}
+
+	var cycles, stalls, macs int64
+	bankLoad := make([]int, banks)
+	for start := 0; start < len(tiles); start += tilesPerGroup {
+		end := min(start+tilesPerGroup, len(tiles))
+		for i := range bankLoad {
+			bankLoad[i] = 0
+		}
+		for _, tl := range tiles[start:end] {
+			macs += int64(tl.useful)
+			for j := 0; j < b; j++ {
+				bankLoad[(tl.c0+j)%banks]++
+			}
+		}
+		cost := perTileCycles
+		for _, load := range bankLoad {
+			if need := int64((load + ports - 1) / ports); need > cost {
+				cost = need
+			}
+		}
+		cycles += cost
+		stalls += cost - perTileCycles
+	}
+
+	nTiles := int64(l.BlockCount())
+	return LayerReport{
+		Name:        name,
+		Sparse:      true,
+		Block:       b,
+		MACs:        macs,
+		Cycles:      cycles,
+		StallCycles: stalls,
+		WeightReads: nTiles * int64(area), // tiles stream whole, padding included
+		IndexReads:  nTiles,               // ONE index per tile — the BSR bargain
+		IOReads:     nTiles * int64(b),    // b consecutive words per tile
 		Utilization: safeDiv(macs, cycles*int64(m)),
 	}
 }

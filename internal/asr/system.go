@@ -51,6 +51,14 @@ type System struct {
 	mu      sync.Mutex            // guards scores and quality
 	scores  map[int][][][]float64 // pruning -> utterance -> frame -> senone log-post
 	quality map[int][3]float64    // pruning -> (top1, top5, confidence)
+
+	// blockMu guards the lazily derived block-pruned models and their
+	// score cache (block.go). Separate from mu so a long block retrain
+	// never stalls unstructured Scores callers.
+	blockMu      sync.Mutex
+	blockModels  map[blockKey]*dnn.Network
+	blockReports map[blockKey]pruning.Report
+	blockScores  map[blockKey][][][]float64
 }
 
 // Build synthesizes the world and corpus, trains the baseline network
@@ -146,11 +154,17 @@ func (s *System) Scores(level int) [][][]float64 {
 	if !ok {
 		panic(fmt.Sprintf("asr: no model at pruning level %d", level))
 	}
-	// Forward passes dominate experiment setup time; utterances are
-	// independent, so score them on all cores. All workers share the
-	// model's one compiled inference plan (read-only) and own only an
-	// Exec of per-worker scratch — no per-worker Network clones.
-	plan := net.Plan()
+	all := s.scoreTestSet(net.Plan())
+	s.scores[level] = all
+	return all
+}
+
+// scoreTestSet runs the per-frame forward pass of every test utterance
+// through the given compiled plan. Forward passes dominate experiment
+// setup time; utterances are independent, so they are scored on all
+// cores. All workers share the one plan (read-only) and own only an
+// Exec of per-worker scratch — no per-worker Network clones.
+func (s *System) scoreTestSet(plan *dnn.Plan) [][][]float64 {
 	all := make([][][]float64, len(s.TestSet))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(s.TestSet) {
@@ -184,7 +198,6 @@ func (s *System) Scores(level int) [][][]float64 {
 	}
 	close(work)
 	wg.Wait()
-	s.scores[level] = all
 	return all
 }
 

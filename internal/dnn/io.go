@@ -21,6 +21,10 @@ type savedLayer struct {
 	Biases    []float64
 	Mask      []bool
 	Trainable bool
+	// Block is the FC block-pruning edge (0 = unstructured). gob treats
+	// a missing field as zero, so models written before block pruning
+	// load as unstructured and no format bump is needed.
+	Block int
 }
 
 type savedNetwork struct {
@@ -39,6 +43,7 @@ func (n *Network) Save(w io.Writer) error {
 			sn.Layers = append(sn.Layers, savedLayer{
 				Kind: "fc", Name: v.LayerName, In: v.InDim(), Out: v.OutDim(),
 				Weights: v.W.Data, Biases: v.B, Mask: v.Mask, Trainable: v.Trainable,
+				Block: v.BlockSize,
 			})
 		case *PNorm:
 			sn.Layers = append(sn.Layers, savedLayer{
@@ -71,7 +76,7 @@ func Load(r io.Reader) (*Network, error) {
 			if len(sl.Weights) != sl.In*sl.Out || len(sl.Biases) != sl.Out {
 				return nil, fmt.Errorf("dnn: layer %q has inconsistent shapes", sl.Name)
 			}
-			fc := &FC{LayerName: sl.Name, Trainable: sl.Trainable, B: sl.Biases, Mask: sl.Mask}
+			fc := &FC{LayerName: sl.Name, Trainable: sl.Trainable, B: sl.Biases, Mask: sl.Mask, BlockSize: sl.Block}
 			fc.W = &mat.Matrix{Rows: sl.Out, Cols: sl.In, Data: sl.Weights}
 			layers = append(layers, fc)
 		case "pnorm":

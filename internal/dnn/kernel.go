@@ -11,8 +11,8 @@ import (
 // state lives in the scratch value, so one kernel instance is shared
 // read-only by every Exec over the plan, exactly like the Plan itself.
 //
-// The float kernels ("dense", "sparse") are bit-identical to each
-// other by construction; the integer kernels ("int8", "sparse_int8")
+// The float kernels ("dense", "sparse", "bsr") are bit-identical to
+// each other by construction; the integer kernels ("int8", "sparse_int8")
 // are deterministic but lossy, bound by the error budget in
 // docs/QUANT.md instead. Adding a kernel means implementing these four
 // methods — kernel selection (Compile), timing (the per-name
@@ -21,7 +21,7 @@ import (
 // changes.
 type Kernel interface {
 	// Name identifies the kernel in Plan.Kernels/Describe and labels
-	// its dnn.kernel_seconds timer ("dense", "sparse", "int8",
+	// its dnn.kernel_seconds timer ("dense", "sparse", "bsr", "int8",
 	// "sparse_int8"; "-" for non-FC passthrough layers).
 	Name() string
 	// NewScratch allocates the kernel's per-Exec mutable state, or
@@ -79,6 +79,24 @@ func (k csrKernel) MatVec(_ any, dst, in []float64) {
 }
 func (k csrKernel) MatVecBatch(_ any, dsts, ins [][]float64) {
 	k.csr.MatVecBatch(dsts, ins)
+}
+
+// bsrKernel is the float block-sparse kernel: dense b×b micro-tiles
+// over the BSR view built from a block-pruned layer. Like the CSR
+// kernel it accumulates in the dense column order (ascending tiles,
+// ascending columns within a tile), so it is bit-identical to dense —
+// but it pays one index per tile instead of one per nonzero and its
+// inner loops are unrolled straight-line over contiguous inputs, which
+// is where it beats CSR at equal sparsity.
+type bsrKernel struct{ bsr *sparse.BSR }
+
+func (k bsrKernel) Name() string    { return "bsr" }
+func (k bsrKernel) NewScratch() any { return nil }
+func (k bsrKernel) MatVec(_ any, dst, in []float64) {
+	k.bsr.MatVec(dst, in)
+}
+func (k bsrKernel) MatVecBatch(_ any, dsts, ins [][]float64) {
+	k.bsr.MatVecBatch(dsts, ins)
 }
 
 // int8Kernel is the dense integer kernel: int8 weight codes under one

@@ -36,6 +36,13 @@ type FC struct {
 	Mask      []bool // nil = dense; len(W.Data) otherwise; true = kept
 	Trainable bool
 
+	// BlockSize records the block edge when Mask was produced by
+	// block-structured pruning (pruning.BlockPrune): zeros come and go
+	// in whole BlockSize×BlockSize tiles, so a BSR kernel can exploit
+	// the structure. 0 means unstructured (or dense). Metadata only —
+	// Forward/Backward/Step never consult it.
+	BlockSize int
+
 	dW []float64
 	dB []float64
 }

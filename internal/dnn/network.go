@@ -235,6 +235,7 @@ func (n *Network) Clone() *Network {
 				W:         v.W.Clone(),
 				B:         append([]float64(nil), v.B...),
 				Trainable: v.Trainable,
+				BlockSize: v.BlockSize,
 			}
 			if v.Mask != nil {
 				c.Mask = append([]bool(nil), v.Mask...)

@@ -14,14 +14,22 @@ import (
 type Backend string
 
 const (
-	// BackendAuto picks per FC layer: the CSR sparse kernel when the
-	// layer's weight density is at or below the plan's threshold, the
-	// dense matvec otherwise.
+	// BackendAuto picks per FC layer: below the plan's density
+	// threshold, the BSR block-sparse kernel when the layer carries
+	// block-pruning metadata (FC.BlockSize > 0) and the CSR sparse
+	// kernel otherwise; the dense matvec above the threshold. All three
+	// are bit-identical, so the choice is invisible to decode results.
 	BackendAuto Backend = "auto"
 	// BackendDense forces the dense matvec for every FC layer.
 	BackendDense Backend = "dense"
 	// BackendSparse forces the CSR sparse kernel for every FC layer.
 	BackendSparse Backend = "sparse"
+	// BackendBSR forces the BSR block-sparse kernel for every FC layer.
+	// Layers without block metadata (unstructured or dense) are tiled at
+	// DefaultBSRBlock — still bit-identical, but only block-pruned
+	// layers have empty tiles to skip, so forcing BSR elsewhere is a
+	// measurement tool, not a win.
+	BackendBSR Backend = "bsr"
 	// BackendInt8 computes every FC layer in quantized integer form:
 	// int8 weight codes under a per-layer symmetric scale, int32
 	// accumulators, dequantize-once at the layer boundary. Within the
@@ -37,13 +45,17 @@ const (
 // ParseBackend validates a -backend flag value.
 func ParseBackend(s string) (Backend, error) {
 	switch Backend(s) {
-	case BackendAuto, BackendDense, BackendSparse, BackendInt8:
+	case BackendAuto, BackendDense, BackendSparse, BackendBSR, BackendInt8:
 		return Backend(s), nil
 	case "":
 		return BackendAuto, nil
 	}
-	return "", fmt.Errorf("dnn: unknown backend %q (want auto, dense, sparse or int8)", s)
+	return "", fmt.Errorf("dnn: unknown backend %q (want auto, dense, sparse, bsr or int8)", s)
 }
+
+// DefaultBSRBlock is the tile edge used when BackendBSR is forced on a
+// layer without block-pruning metadata.
+const DefaultBSRBlock = 8
 
 // DefaultDensityThreshold is the weight density at or below which
 // BackendAuto selects the sparse kernel (and BackendInt8 the
@@ -82,6 +94,7 @@ type planLayer struct {
 	layer   Layer
 	fc      *FC           // nil for pooling/renorm layers
 	csr     *sparse.Layer // compiled CSR; non-nil for every masked FC
+	bsr     *sparse.BSR   // compiled BSR; non-nil for block-pruned FCs and bsr kernels
 	kern    Kernel        // the compute implementation; never nil
 	timer   *obs.Timer    // dnn.kernel_seconds child for kern (layer timer for non-FC)
 	density float64       // NNZ / weight count at compile time
@@ -89,9 +102,9 @@ type planLayer struct {
 
 // Plan is a compiled inference plan: one immutable kernel schedule
 // built from a snapshot of a Network's weights. A Plan selects one
-// Kernel per layer — float dense or CSR sparse (bit-identical to each
-// other by construction), or under BackendInt8 their quantized
-// counterparts (deterministic, error-budget-bounded) — and
+// Kernel per layer — float dense, CSR sparse or BSR block-sparse
+// (bit-identical to each other by construction), or under BackendInt8
+// their quantized counterparts (deterministic, error-budget-bounded) — and
 // pre-computes the CSR views so consumers like the accelerator
 // simulator never re-compress a layer.
 //
@@ -122,12 +135,16 @@ func Compile(net *Network, cfg PlanConfig) *Plan {
 			if n := fc.WeightCount(); n > 0 {
 				pl.density = float64(fc.W.NNZ()) / float64(n)
 			}
-			// The density policy is shared by auto and int8: sparse
-			// layouts only win below the threshold, in float and in
-			// int8 alike.
+			// The density policy is shared by auto, bsr and int8:
+			// sparse layouts only win below the threshold, in float and
+			// in int8 alike. Below it, block metadata promotes the
+			// layer from CSR to BSR under auto.
 			belowThreshold := pl.density <= cfg.DensityThreshold
+			wantBSR := cfg.Backend == BackendBSR ||
+				(cfg.Backend == BackendAuto && fc.BlockSize > 0 && belowThreshold)
 			wantCSR := cfg.Backend == BackendSparse ||
-				(cfg.Backend != BackendDense && belowThreshold)
+				(cfg.Backend != BackendDense && cfg.Backend != BackendBSR &&
+					belowThreshold && !wantBSR)
 			// Compile the CSR view whenever a CSR-shaped kernel needs
 			// it, and for every masked layer regardless of kernel
 			// choice: the accelerator simulator analyzes pruned layers
@@ -136,11 +153,24 @@ func Compile(net *Network, cfg PlanConfig) *Plan {
 			if wantCSR || fc.Mask != nil {
 				pl.csr = sparse.FromDense(fc.W, fc.B)
 			}
+			// Likewise the BSR view: for the bsr kernel, and for every
+			// block-pruned layer regardless of kernel choice, so the
+			// accelerator simulator's block lane model and the storage
+			// accounting read the compiled tiles.
+			if wantBSR || (fc.BlockSize > 0 && fc.Mask != nil) {
+				block := fc.BlockSize
+				if block <= 0 {
+					block = DefaultBSRBlock
+				}
+				pl.bsr = sparse.FromDenseBSR(fc.W, fc.B, block)
+			}
 			switch {
 			case cfg.Backend == BackendInt8 && wantCSR:
 				pl.kern = sparseInt8Kernel{qkern.FromCSR(pl.csr)}
 			case cfg.Backend == BackendInt8:
 				pl.kern = int8Kernel{qkern.FromMatrix(fc.W, fc.B)}
+			case wantBSR:
+				pl.kern = bsrKernel{pl.bsr}
 			case wantCSR:
 				pl.kern = csrKernel{pl.csr}
 			default:
@@ -173,10 +203,15 @@ func (p *Plan) Config() PlanConfig { return p.cfg }
 // returned layer is shared read-only.
 func (p *Plan) Sparse(i int) *sparse.Layer { return p.layers[i].csr }
 
+// BSR returns the compiled block-sparse view of layer i, or nil when
+// none was built (layers without block metadata not running the bsr
+// kernel). The returned layer is shared read-only.
+func (p *Plan) BSR(i int) *sparse.BSR { return p.layers[i].bsr }
+
 // Kernels reports the chosen kernel name per layer ("dense", "sparse",
-// "int8", "sparse_int8", or "-" for non-FC layers) for logs and tests.
-// The names come straight from the compiled kernels, so Describe and
-// Kernels can never disagree.
+// "bsr", "int8", "sparse_int8", or "-" for non-FC layers) for logs and
+// tests. The names come straight from the compiled kernels, so
+// Describe and Kernels can never disagree.
 func (p *Plan) Kernels() []string {
 	out := make([]string, len(p.layers))
 	for i := range p.layers {

@@ -33,11 +33,36 @@ func benchNet(target float64) *dnn.Network {
 	return net
 }
 
+// benchBlockNet is benchNet with the block rule (8×8 tiles) swapped
+// in: the same stack block-pruned to the same global sparsity, which
+// is the layout the bsr kernel exists for. At target 0 the grid is
+// left dense — forcing BackendBSR then stores every tile.
+func benchBlockNet(target float64) *dnn.Network {
+	rng := mat.NewRNG(11)
+	net := dnn.NewNetwork(
+		dnn.NewFC("fc1", 360, 2000, 0.05, rng),
+		dnn.NewFC("fc2", 2000, 2000, 0.05, rng),
+		dnn.NewFC("fc3", 2000, 440, 0.05, rng),
+	)
+	if target > 0 {
+		quality, err := pruning.CalibrateBlockQuality(net, 8, target)
+		if err != nil {
+			panic(err)
+		}
+		pruning.BlockPrune(net, quality, 8)
+	}
+	return net
+}
+
 // BenchmarkForward measures one single-frame forward pass per
 // backend and pruning level. At p90 the sparse CSR kernels touch ~10%
 // of the weights the dense rows walk, which is where the >=3x comes
 // from; at p0 sparse degenerates to dense work plus indirection, which
-// is why auto only flips below the density threshold.
+// is why auto only flips below the density threshold. The bsr series
+// runs on the block-pruned stack at the same global sparsity — the
+// apples-to-apples layout comparison of docs/BLOCK.md — and its
+// acceptance bar is >= 1.15x over CSR at p90 (one index per 64-weight
+// tile instead of one per weight, dense unrolled micro-tiles).
 func BenchmarkForward(b *testing.B) {
 	for _, level := range []struct {
 		name   string
@@ -55,6 +80,13 @@ func BenchmarkForward(b *testing.B) {
 				}
 			})
 		}
+		blockNet := benchBlockNet(level.target)
+		ex := dnn.Compile(blockNet, dnn.PlanConfig{Backend: dnn.BackendBSR}).NewExec()
+		b.Run(fmt.Sprintf("bsr/%s", level.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex.LogPosteriors(out, in)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestBlockTableWERWithinBudget pins the block-pruning acceptance
+// contract: at every swept level, the block-pruned model's WER stays
+// within 1.0 absolute point of (i.e. rises no more than 1.0 above) the
+// unstructured model at equal global sparsity — a block model that
+// beats unstructured is inside the budget — and the calibrated block
+// sparsity actually lands near the unstructured target
+// (docs/BLOCK.md). Reading the numbers back out of
+// the rendered table also pins the column layout the notes cite.
+func TestBlockTableWERWithinBudget(t *testing.T) {
+	sys := tinySys(t)
+	tab, err := BlockTable(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	rows := map[string][]string{}
+	for _, row := range tab.Rows {
+		rows[row[0]] = row
+	}
+	var checked int
+	for _, lv := range []int{70, 80, 90} {
+		u, ok := rows[fmt.Sprintf("%d%%Unstructured", lv)]
+		if !ok {
+			t.Fatalf("no unstructured row at %d%%", lv)
+		}
+		for _, b := range []int{4, 8} {
+			blk, ok := rows[fmt.Sprintf("%d%%Block%d", lv, b)]
+			if !ok {
+				t.Fatalf("no block-%d row at %d%%", b, lv)
+			}
+			checked++
+			if d := parse(blk[1]) - parse(u[1]); d > 5 || d < -5 {
+				t.Errorf("%s: sparsity %s not within 5 points of unstructured %s", blk[0], blk[1], u[1])
+			}
+			if d := parse(blk[2]) - parse(u[2]); d > 1.0 {
+				t.Errorf("%s: WER %.2f points above unstructured (unstructured %s, block %s)",
+					blk[0], d, u[2], blk[2])
+			}
+		}
+	}
+	if checked != 6 {
+		t.Fatalf("checked %d block rows, want 6", checked)
+	}
+	if len(tab.Notes) == 0 {
+		t.Fatal("block table has no notes")
+	}
+}

@@ -71,6 +71,7 @@ func TestAllGeneratorsRun(t *testing.T) {
 		{"tail", func() (*Table, error) { return TailLatency(sys) }, 2},
 		{"headline", func() (*Table, error) { return Headline(sys) }, 3},
 		{"int8", func() (*Table, error) { return Int8Table(sys) }, 4},
+		{"block", func() (*Table, error) { return BlockTable(sys) }, 10},
 	}
 	for _, g := range gens {
 		tab, err := g.fn()

@@ -1,0 +1,266 @@
+package pruning
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/mat"
+)
+
+// tileKept counts the kept mask cells of one clipped tile and the
+// tile's cell total.
+func tileKept(fc *dnn.FC, br, bc, block int) (kept, cells int) {
+	cols := fc.W.Cols
+	for r := br * block; r < (br+1)*block && r < fc.W.Rows; r++ {
+		for c := bc * block; c < (bc+1)*block && c < cols; c++ {
+			cells++
+			if fc.Mask[r*cols+c] {
+				kept++
+			}
+		}
+	}
+	return kept, cells
+}
+
+// maskIsBlockAligned checks the block mask contract: every b×b tile is
+// uniformly kept or uniformly pruned (clipped at matrix edges), except
+// that in the output layer a block row with no surviving tile instead
+// keeps exactly one sentinel weight per scalar row.
+func maskIsBlockAligned(fc *dnn.FC, block int, output bool) bool {
+	cols := fc.W.Cols
+	for br := 0; br*block < fc.W.Rows; br++ {
+		mixed, wholeTiles := 0, 0
+		for bc := 0; bc*block < cols; bc++ {
+			kept, cells := tileKept(fc, br, bc, block)
+			switch {
+			case kept == cells:
+				wholeTiles++
+			case kept > 0:
+				mixed++
+			}
+		}
+		if mixed == 0 {
+			continue
+		}
+		// Mixed tiles are only legal as a sentinel rescue of an
+		// otherwise-dead output block row: no whole tiles, and every
+		// scalar row keeps exactly one weight.
+		if !output || wholeTiles > 0 {
+			return false
+		}
+		for r := br * block; r < (br+1)*block && r < fc.W.Rows; r++ {
+			kept := 0
+			for c := 0; c < cols; c++ {
+				if fc.Mask[r*cols+c] {
+					kept++
+				}
+			}
+			if kept != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBlockPruneMasksWholeTiles(t *testing.T) {
+	for _, block := range []int{4, 8} {
+		net := buildNet(1)
+		BlockPrune(net, 1.0, block)
+		out := outputLayerIndex(net)
+		for i, fc := range net.FCs() {
+			if !fc.Trainable {
+				if fc.Mask != nil {
+					t.Fatalf("frozen layer %s masked", fc.LayerName)
+				}
+				continue
+			}
+			if fc.BlockSize != block {
+				t.Fatalf("layer %s BlockSize = %d, want %d", fc.LayerName, fc.BlockSize, block)
+			}
+			if !maskIsBlockAligned(fc, block, i == out) {
+				t.Fatalf("layer %s: mask not aligned to %d-blocks", fc.LayerName, block)
+			}
+			for i, keep := range fc.Mask {
+				if !keep && fc.W.Data[i] != 0 {
+					t.Fatalf("layer %s: pruned weight not zeroed", fc.LayerName)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockPruneThresholdRule(t *testing.T) {
+	net := buildNet(2)
+	const block = 4
+	rep := BlockPrune(net, 1.0, block)
+	for _, fc := range net.FCs() {
+		if !fc.Trainable {
+			continue
+		}
+		var threshold float64
+		for _, lr := range rep.Layers {
+			if lr.Name == fc.LayerName {
+				threshold = lr.Threshold
+			}
+		}
+		if threshold <= 0 {
+			t.Fatalf("layer %s has no threshold", fc.LayerName)
+		}
+		for br := 0; br*block < fc.W.Rows; br++ {
+			for bc := 0; bc*block < fc.W.Cols; bc++ {
+				kept, cells := tileKept(fc, br, bc, block)
+				if kept > 0 && kept < cells {
+					continue // output sentinel tile, below threshold by design
+				}
+				rms := blockRMS(fc.W, br, bc, block)
+				// Kept tiles kept their weights, so their RMS is still
+				// measurable and must clear the threshold.
+				if kept == cells && rms < threshold {
+					t.Fatalf("layer %s: kept tile (%d,%d) rms %v below threshold %v",
+						fc.LayerName, br, bc, rms, threshold)
+				}
+			}
+		}
+	}
+}
+
+func TestCalibrateBlockQualityHitsTarget(t *testing.T) {
+	// Tiles prune in whole b² grains, so calibration needs layers large
+	// enough that one grain is a small fraction of the total — use a
+	// wider net than the other tests.
+	topo := dnn.Topology{FeatDim: 10, Context: 1, Hidden: 96, PoolGroup: 4, HiddenBlocks: 2, Senones: 48}
+	for _, block := range []int{4, 8} {
+		for _, target := range []float64{0.7, 0.8, 0.9} {
+			net := topo.Build(mat.NewRNG(3))
+			q, err := CalibrateBlockQuality(net, block, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := BlockPrune(net, q, block)
+			if math.Abs(rep.GlobalPruning-target) > 0.05 {
+				t.Fatalf("block %d target %v: got %v (quality %v)", block, target, rep.GlobalPruning, q)
+			}
+		}
+	}
+}
+
+func TestCalibrateBlockQualityRejectsBadTargets(t *testing.T) {
+	net := buildNet(4)
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := CalibrateBlockQuality(net, 4, bad); err == nil {
+			t.Fatalf("target %v accepted", bad)
+		}
+	}
+}
+
+func TestUnstructuredPruneClearsBlockSize(t *testing.T) {
+	net := buildNet(5)
+	BlockPrune(net, 1.0, 4)
+	Prune(net, 1.0)
+	for _, fc := range net.FCs() {
+		if fc.BlockSize != 0 {
+			t.Fatalf("layer %s: BlockSize %d after unstructured re-prune", fc.LayerName, fc.BlockSize)
+		}
+	}
+}
+
+func TestBlockPruneAndRetrainKeepsStructure(t *testing.T) {
+	baseline := buildNet(6)
+	before := append([]float64(nil), baseline.FCs()[1].W.Data...)
+
+	rng := mat.NewRNG(7)
+	var samples []dnn.Sample
+	for i := 0; i < 40; i++ {
+		in := make([]float64, baseline.InDim())
+		rng.FillNorm(in, 0, 1)
+		samples = append(samples, dnn.Sample{Input: in, Label: rng.Intn(baseline.OutDim())})
+	}
+	const block = 4
+	res, err := BlockPruneAndRetrain(baseline, samples, BlockConfig{
+		Block:   block,
+		Target:  0.8,
+		Retrain: dnn.TrainConfig{Epochs: 2, BatchSize: 8, LearningRate: 0.02, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the original must be untouched
+	after := baseline.FCs()[1].W.Data
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("baseline mutated at %d", i)
+		}
+	}
+	if p := res.Net.GlobalPruning(); math.Abs(p-0.8) > 0.05 {
+		t.Fatalf("pruned model at %v, want 0.8", p)
+	}
+	out := outputLayerIndex(res.Net)
+	for i, fc := range res.Net.FCs() {
+		if fc.Mask == nil {
+			continue
+		}
+		if fc.BlockSize != block {
+			t.Fatalf("layer %s lost BlockSize after retrain", fc.LayerName)
+		}
+		if !maskIsBlockAligned(fc, block, i == out) {
+			t.Fatalf("layer %s: mask lost block alignment", fc.LayerName)
+		}
+		for i, keep := range fc.Mask {
+			if !keep && fc.W.Data[i] != 0 {
+				t.Fatalf("retraining resurrected a pruned weight")
+			}
+		}
+	}
+}
+
+// TestBlockPruneNeverKillsOutputRow pins the sentinel guarantee: no
+// matter how deep the cut, every senone keeps at least one incoming
+// weight, while hidden rows are allowed to die whole.
+func TestBlockPruneNeverKillsOutputRow(t *testing.T) {
+	for _, block := range []int{4, 8} {
+		net := buildNet(9)
+		// quality far beyond any tile RMS: everything prunable dies
+		// except the sentinels.
+		BlockPrune(net, 1e6, block)
+		fcs := net.FCs()
+		out := outputLayerIndex(net)
+		fc := fcs[out]
+		cols := fc.W.Cols
+		for r := 0; r < fc.W.Rows; r++ {
+			kept := 0
+			for c := 0; c < cols; c++ {
+				if fc.Mask[r*cols+c] {
+					kept++
+				}
+			}
+			if kept != 1 {
+				t.Fatalf("block %d: output row %d keeps %d weights, want exactly 1 sentinel", block, r, kept)
+			}
+		}
+		for i, fc := range fcs {
+			if i == out || !fc.Trainable {
+				continue
+			}
+			for _, keep := range fc.Mask {
+				if keep {
+					t.Fatalf("block %d: hidden layer %s kept a weight at infinite threshold", block, fc.LayerName)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockQualityMonotonicity(t *testing.T) {
+	net := buildNet(8)
+	prev := -1.0
+	for _, q := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		c := net.Clone()
+		rep := BlockPrune(c, q, 4)
+		if rep.GlobalPruning < prev {
+			t.Fatalf("block pruning not monotone in quality: %v after %v", rep.GlobalPruning, prev)
+		}
+		prev = rep.GlobalPruning
+	}
+}

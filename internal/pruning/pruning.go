@@ -56,6 +56,7 @@ func Prune(net *dnn.Network, quality float64) Report {
 			}
 		}
 		fc.Mask = mask
+		fc.BlockSize = 0 // unstructured mask, even if previously block-pruned
 		fc.ApplyMask()
 		rep.Layers = append(rep.Layers, LayerReport{
 			Name: fc.LayerName, Weights: fc.WeightCount(), Pruned: pruned,

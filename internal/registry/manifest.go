@@ -16,7 +16,7 @@ import (
 type VariantSpec struct {
 	Name    string `json:"name"`
 	Model   string `json:"model"`
-	Backend string `json:"backend,omitempty"` // auto (default), dense, sparse, or int8
+	Backend string `json:"backend,omitempty"` // auto (default), dense, sparse, bsr, or int8
 }
 
 // Manifest is the multi-model configuration cmd/asrserve loads with

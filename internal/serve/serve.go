@@ -65,7 +65,7 @@ type Config struct {
 	Net *dnn.Network
 	// Backend selects the scoring kernels compiled for Net (ignored
 	// when Registry is set): auto (default; CSR sparse for pruned
-	// layers under the density threshold), dense, sparse, or int8
+	// layers under the density threshold), dense, sparse, bsr, or int8
 	// (quantized integer kernels — deterministic, error-budget-bounded
 	// per docs/QUANT.md). Transcripts are bit-identical across the
 	// float backends; only the forward-pass cost changes.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/dnn"
 	"repro/internal/mat"
+	"repro/internal/pruning"
 	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/serve"
@@ -41,11 +42,19 @@ func TestRoutedDecodeBitIdenticalToDirect(t *testing.T) {
 	utts := world.SynthesizeSetNoisy(8, scale.WordsPerUtt, 2002, scale.TestNoiseScale)
 
 	// Each backend gets its own registry instance (separate processes
-	// in production) with the same three variants: the same weights
-	// compiled dense, sparse, and int8. The float variants agree bit
-	// for bit with each other; int8 differs from float but is itself
-	// deterministic — so for every variant, routed must equal direct
+	// in production) with the same four variants: the same weights
+	// compiled dense, sparse, and int8, plus a block-pruned copy on the
+	// bsr kernel. The float variants agree bit for bit with each other;
+	// int8 differs from float but is itself deterministic; the bsr
+	// variant scores different (block-pruned) weights but must likewise
+	// be byte-stable — so for every variant, routed must equal direct
 	// bit for bit across backend processes.
+	bnet := net.Clone()
+	bq, err := pruning.CalibrateBlockQuality(bnet, 8, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruning.BlockPrune(bnet, bq, 8)
 	newRegistry := func() *registry.Registry {
 		r := registry.New()
 		if _, err := r.Register("w-dense", "", net.Clone(), dnn.BackendDense); err != nil {
@@ -55,6 +64,9 @@ func TestRoutedDecodeBitIdenticalToDirect(t *testing.T) {
 			t.Fatal(err)
 		}
 		if _, err := r.Register("w-int8", "", net.Clone(), dnn.BackendInt8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Register("w-bsr", "", bnet.Clone(), dnn.BackendBSR); err != nil {
 			t.Fatal(err)
 		}
 		return r
@@ -129,7 +141,7 @@ func TestRoutedDecodeBitIdenticalToDirect(t *testing.T) {
 		return rep, err
 	}
 
-	models := []string{"w-dense", "w-sparse", "w-int8"}
+	models := []string{"w-dense", "w-sparse", "w-int8", "w-bsr"}
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*len(utts))
 	for i, u := range utts {
